@@ -1,0 +1,72 @@
+"""E10.2 — Ablation: the blocking parameter v (paper Section 7.2).
+
+The paper: "the minimum size of each block is c = P M / N^2 ... to
+secure high performance this value should also be adjusted to hardware
+parameters".  Volume-wise, the A00 broadcast term grows linearly in v
+((P-1)(v^2+v) per step, N/v steps => ~P N v total), so the simulator's
+volume-optimal choice is v = c; real machines trade that against
+latency (N/v pivoting rounds — the tournament's whole point).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import conflux_lu
+from repro.harness import format_table
+
+
+def test_block_size_volume_sweep(benchmark, show):
+    n, g, c = 128, 2, 2
+    p = g * g * c
+
+    def run():
+        a = np.random.default_rng(3).standard_normal((n, n))
+        rows = []
+        for v in (2, 4, 8, 16, 32):
+            res = conflux_lu(a, p, grid=(g, g, c), v=v)
+            rows.append(
+                {
+                    "v": v,
+                    "steps": -(-n // v),
+                    "total_bytes": res.volume.total_bytes,
+                    "bcast_a00": res.volume.phase_bytes["bcast_a00"],
+                    "tournament": res.volume.phase_bytes["tournament"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        rows,
+        [
+            ("v", "v"),
+            ("steps", "steps (latency)"),
+            ("total_bytes", "total [B]"),
+            ("bcast_a00", "bcast A00 [B]"),
+            ("tournament", "tournament [B]"),
+        ],
+        title=f"Blocking parameter sweep (N={n}, grid=({g},{g},{c}))",
+    ))
+    # bcast term grows ~linearly with v
+    bcast = {row["v"]: row["bcast_a00"] for row in rows}
+    assert bcast[32] / bcast[2] == pytest.approx(32 / 2, rel=0.35)
+    # total volume is minimized at small v; the latency (step count)
+    # falls as 1/v — the tradeoff the paper tunes with a = v/c
+    totals = [row["total_bytes"] for row in rows]
+    assert totals[0] < totals[-1]
+    steps = [row["steps"] for row in rows]
+    assert steps[0] > steps[-1]
+
+
+def test_v_below_c_is_rejected(benchmark):
+    """Section 7.2's constraint v >= c is enforced."""
+    a = np.random.default_rng(4).standard_normal((32, 32))
+
+    def attempt():
+        try:
+            conflux_lu(a, 16, grid=(2, 2, 4), v=2)
+            return False
+        except ValueError:
+            return True
+
+    assert benchmark(attempt)

@@ -1,0 +1,116 @@
+"""E10.4 — Ablation: collective algorithm volumes in the smpi substrate.
+
+The simulated runtime implements its collectives on explicit
+point-to-point trees/rings, so their volumes are measurable facts, not
+assumptions.  This bench pins the closed forms the cost models rely on
+(bcast/reduce: (P-1)s; allreduce: 2(P-1)s; allgather: P(P-1)s) and
+times the substrate itself (the one place wall time is meaningful in
+this repo — it bounds how large a simulation the benches can afford).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import format_table
+from repro.smpi import run_spmd
+
+
+def _volume_of(size: int, op_name: str, payload_elems: int = 64) -> int:
+    def fn(comm):
+        data = np.zeros(payload_elems)
+        if op_name == "bcast":
+            comm.bcast(data if comm.rank == 0 else None, root=0)
+        elif op_name == "reduce":
+            comm.reduce(data, root=0)
+        elif op_name == "allreduce":
+            comm.allreduce(data)
+        elif op_name == "allgather":
+            comm.allgather(data)
+        elif op_name == "gather":
+            comm.gather(data, root=0)
+
+    _, report = run_spmd(size, fn)
+    return report.total_bytes
+
+
+def test_collective_volume_closed_forms(benchmark, show):
+    s = 64 * 8  # payload bytes
+
+    def run():
+        rows = []
+        for p in (4, 8, 16):
+            rows.append(
+                {
+                    "p": p,
+                    "bcast": _volume_of(p, "bcast"),
+                    "bcast_theory": (p - 1) * s,
+                    "allreduce": _volume_of(p, "allreduce"),
+                    "allreduce_theory": 2 * (p - 1) * s,
+                    "allgather": _volume_of(p, "allgather"),
+                    "allgather_theory": p * (p - 1) * (s + 8),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        rows,
+        [
+            ("p", "P"),
+            ("bcast", "bcast [B]"),
+            ("bcast_theory", "theory"),
+            ("allreduce", "allreduce [B]"),
+            ("allreduce_theory", "theory"),
+            ("allgather", "allgather [B]"),
+            ("allgather_theory", "theory"),
+        ],
+        title="Collective volumes vs closed forms (64-element payload)",
+    ))
+    for row in rows:
+        assert row["bcast"] == row["bcast_theory"]
+        assert row["allreduce"] == row["allreduce_theory"]
+        assert row["allgather"] == row["allgather_theory"]
+
+
+def test_substrate_throughput_bcast(benchmark):
+    """Wall-time of a 16-rank broadcast through the thread substrate —
+    the simulator-cost baseline for sizing measured experiments."""
+
+    def run():
+        def fn(comm):
+            comm.bcast(
+                np.zeros(256) if comm.rank == 0 else None, root=0
+            )
+
+        run_spmd(16, fn)
+
+    benchmark(run)
+
+
+def test_substrate_throughput_spmd_spawn(benchmark):
+    """Thread-spawn + join overhead for a 32-rank no-op job."""
+
+    def run():
+        run_spmd(32, lambda comm: None)
+
+    benchmark(run)
+
+
+def test_reduce_vs_gather_volume_tradeoff(benchmark, show):
+    """Tree reduce moves (P-1)s; a gather-then-local-sum moves the same
+    (P-1)s — but an allgather-based reduction would move P(P-1)s.  The
+    tournament uses tree reduce + bcast for exactly this reason."""
+    p, s = 8, 64 * 8
+
+    def run():
+        return {
+            "reduce": _volume_of(p, "reduce"),
+            "gather": _volume_of(p, "gather"),
+            "allgather": _volume_of(p, "allgather"),
+        }
+
+    vols = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(f"P={p}: reduce {vols['reduce']:,} B, gather {vols['gather']:,} "
+         f"B, allgather {vols['allgather']:,} B")
+    assert vols["reduce"] == vols["gather"] == (p - 1) * s
+    assert vols["allgather"] > vols["reduce"] * (p - 1)

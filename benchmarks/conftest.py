@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(DESIGN.md's per-experiment index maps them).  Heavy simulator runs use
+``benchmark.pedantic(..., rounds=1)`` — the interesting output is the
+communication volume (deterministic), not the wall time; timing numbers
+measure the simulator, not Piz Daint.
+
+Run with: pytest benchmarks/ --benchmark-only -s
+(-s shows the paper-style tables each benchmark prints).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print helper that survives pytest's capture (use -s to see it)."""
+
+    def _show(text: str) -> None:
+        print("\n" + text)
+
+    return _show
+
+
+def pytest_collection_modifyitems(config, items):
+    # Benchmarks are ordered by experiment id (file name) for readable
+    # console output.
+    items.sort(key=lambda item: item.fspath.basename)

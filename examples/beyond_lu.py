@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Beyond LU: the paper's future work on the same substrate.
+
+Section 11: "This promising result mandates the exploration of the
+parallel pebbling strategy to algorithms such as Cholesky
+factorization, other nontrivial dense linear algebra kernels, and
+beyond."  This example runs the two extensions this reproduction adds:
+
+* a COnfLUX-style 2.5D Cholesky (A = L L^T, no pivoting), and
+* the communication-optimal 2.5D MMM of the method's origin paper [42],
+
+and compares each measured volume against the bound the theory package
+derives for it — LU's 1.5x gap, Cholesky's constant-factor gap, and
+MMM's ~1.06x (optimal).
+
+Usage:  python examples/beyond_lu.py [N] [P]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.algorithms import cholesky25d_lu, conflux_lu, mmm25d
+from repro.models.prediction import algorithmic_memory
+from repro.theory.bounds import (
+    cholesky_io_lower_bound,
+    lu_parallel_lower_bound_leading,
+    mmm_parallel_lower_bound,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    p = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    g, c = 2, 2
+    if g * g * c > p:
+        g, c = 1, 1
+    p_active = g * g * c
+    m = algorithmic_memory(n, p_active, c)
+    rng = np.random.default_rng(7)
+
+    print(f"N = {n}, grid [{g}, {g}, {c}] ({p_active} ranks), "
+          f"M = {m:,.0f} elements/rank\n")
+    print(f"{'kernel':<12} {'residual':>10} {'volume [B]':>14} "
+          f"{'bound [B]':>14} {'gap':>6}")
+
+    # LU (COnfLUX)
+    a = rng.standard_normal((n, n))
+    lu = conflux_lu(a, p_active, grid=(g, g, c), v=max(c, 2))
+    lu_bound = (
+        lu_parallel_lower_bound_leading(n, m, p_active) * p_active * 8
+    )
+    print(f"{'LU':<12} {lu.residual:>10.1e} "
+          f"{lu.volume.total_bytes:>14,} {lu_bound:>14,.0f} "
+          f"{lu.volume.total_bytes / lu_bound:>6.2f}")
+
+    # Cholesky
+    spd = a @ a.T + n * np.eye(n)
+    chol = cholesky25d_lu(spd, p_active, grid=(g, g, c), v=max(c, 2))
+    chol_bound = cholesky_io_lower_bound(n, m) * 8
+    print(f"{'Cholesky':<12} {chol.residual:>10.1e} "
+          f"{chol.volume.total_bytes:>14,} {chol_bound:>14,.0f} "
+          f"{chol.volume.total_bytes / chol_bound:>6.2f}")
+
+    # MMM
+    b = rng.standard_normal((n, n))
+    out, report, _ = mmm25d(a, b, p_active, grid=(g, g, c))
+    err = float(
+        np.linalg.norm(out - a @ b) / np.linalg.norm(a @ b)
+    )
+    mmm_bound = mmm_parallel_lower_bound(n, m, p_active) * p_active * 8
+    print(f"{'MMM':<12} {err:>10.1e} "
+          f"{report.total_bytes:>14,} {mmm_bound:>14,.0f} "
+          f"{report.total_bytes / mmm_bound:>6.2f}")
+
+    print("\nCholesky moves "
+          f"{lu.volume.total_bytes / chol.volume.total_bytes:.2f}x less "
+          f"data than LU on the same grid (half the flops, no pivoting "
+          f"machinery); MMM sits essentially on its bound — the "
+          f"communication-optimal reference COnfLUX's 1.5x is measured "
+          f"against.")
+
+
+if __name__ == "__main__":
+    main()

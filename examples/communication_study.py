@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Strong-scaling communication study — a laptop-scale Figure 6a.
+
+Measures the per-node communication volume of all four LU
+implementations over a P sweep at fixed N (simulated runs), then prints
+the paper-scale model curves at N = 16,384 up to P = 16,384.
+
+Usage:  python examples/communication_study.py [N]
+"""
+
+import sys
+
+from repro.harness import fig6a_strong_scaling, format_series
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 192
+
+    print(f"Measured per-rank communication volume, N = {n} "
+          f"(simulated ranks):\n")
+    data = fig6a_strong_scaling(
+        n=n, p_values=(4, 8, 16, 32), measured=True,
+        model_p_values=(64, 256, 1024, 4096, 16384),
+    )
+    print(format_series(
+        data["measured"], "p", "per_rank_bytes",
+        title="measured (bytes/rank vs P)",
+    ))
+
+    print("\nModel curves at the paper's N = 16,384 "
+          "(bytes/rank vs P, Table 2 models):\n")
+    print(format_series(
+        data["model"], "p", "per_rank_bytes",
+        title="modeled (bytes/rank vs P)",
+    ))
+
+    # The qualitative claims of Figure 6a, checked on the spot.
+    by_impl = {}
+    for row in data["model"]:
+        by_impl.setdefault(row["impl"], []).append(
+            (row["p"], row["per_rank_bytes"])
+        )
+    conflux_last = sorted(by_impl["conflux"])[-1][1]
+    scalapack_last = sorted(by_impl["scalapack2d"])[-1][1]
+    print(f"\nAt P = 16,384: COnfLUX {conflux_last / 1e6:.1f} MB/rank vs "
+          f"ScaLAPACK-2D {scalapack_last / 1e6:.1f} MB/rank "
+          f"({scalapack_last / conflux_last:.1f}x reduction).")
+
+
+if __name__ == "__main__":
+    main()

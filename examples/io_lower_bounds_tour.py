@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Tour of the paper's general I/O lower-bound machinery (Sections 3-6).
+
+Walks the DAAP -> X-partition -> geometric-program pipeline for every
+program analyzed in the paper and prints the derived quantities next to
+the closed forms the paper reports:
+
+* matrix multiplication       rho = sqrt(M)/2,  Q >= 2 N^3 / sqrt(M)
+* LU statement S1             rho = 1 (Lemma 6), Q >= N(N-1)/2
+* LU statement S2             rho = sqrt(M)/2
+* full LU                     Q >= (2N^3 - 6N^2 + 4N)/(3 sqrt(M)) + N(N-1)/2
+* Section 4.1 shared-input    Q_tot = N^3 / M   (input reuse)
+* Section 4.2 modified MMM    Q_tot = N^3 / M   (output reuse/recompute)
+* Cholesky (future work)      Q >= N^3 / (3 sqrt(M)) leading
+
+Usage:  python examples/io_lower_bounds_tour.py [N] [M]
+"""
+
+import math
+import sys
+
+from repro.theory import (
+    cholesky_program,
+    lu_program,
+    matmul_like_pair_program,
+    mmm_program,
+    modified_mmm_program,
+    program_lower_bound,
+    statement_bound,
+)
+from repro.theory.bounds import (
+    cholesky_io_lower_bound,
+    lu_io_lower_bound,
+    lu_parallel_lower_bound,
+    mmm_io_lower_bound,
+)
+
+
+def show_statement(label: str, stmt, m: float, closed_rho: str) -> None:
+    sb = statement_bound(stmt, m)
+    x0 = "inf" if math.isinf(sb.x0) else f"{sb.x0 / m:.2f} M"
+    lemma = " (Lemma 6 cap)" if sb.lemma6_applied else ""
+    print(f"  {label:<18} X0 = {x0:<8} rho = {sb.rho:10.3f}{lemma}"
+          f"   [paper: {closed_rho}]")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    m = float(sys.argv[2]) if len(sys.argv) > 2 else 1024.0
+    sqrt_m = math.sqrt(m)
+
+    print(f"Fast-memory size M = {m:g} elements, problem size N = {n}\n")
+
+    print("Per-statement computational intensities (Lemma 2 + GP solve):")
+    show_statement("MMM", mmm_program().statements[0], m,
+                   f"sqrt(M)/2 = {sqrt_m / 2:.1f}")
+    show_statement("LU S1", lu_program().statement("S1"), m, "1")
+    show_statement("LU S2", lu_program().statement("S2"), m,
+                   f"sqrt(M)/2 = {sqrt_m / 2:.1f}")
+    show_statement("Cholesky S3", cholesky_program().statement("S3"), m,
+                   f"sqrt(M)/2 = {sqrt_m / 2:.1f}")
+
+    print("\nWhole-program bounds (with Section 4 reuse analysis):")
+    rows = [
+        ("MMM", program_lower_bound(mmm_program(), n, m).q_total,
+         mmm_io_lower_bound(n, m)),
+        ("LU", program_lower_bound(lu_program(), n, m).q_total,
+         lu_io_lower_bound(n, m)),
+        ("Cholesky", program_lower_bound(cholesky_program(), n, m).q_total,
+         cholesky_io_lower_bound(n, m)),
+        ("Sec 4.1 pair", program_lower_bound(
+            matmul_like_pair_program(), n, m).q_total, n**3 / m),
+        ("Sec 4.2 mod-MMM", program_lower_bound(
+            modified_mmm_program(), n, m).q_total, n**3 / m),
+    ]
+    print(f"  {'program':<16} {'derived Q':>16} {'closed form':>16} "
+          f"{'ratio':>7}")
+    for name, derived, closed in rows:
+        print(f"  {name:<16} {derived:16,.0f} {closed:16,.0f} "
+              f"{derived / closed:7.3f}")
+
+    print("\nParallel LU bound (Lemma 9), P = 64:")
+    q64 = lu_parallel_lower_bound(n, m, 64)
+    print(f"  Q_P >= {q64:,.0f} elements/processor "
+          f"({q64 * 8 / 1e6:.2f} MB at 8 B/element)")
+    print("\nNote the reuse results: the Section 4.1 pair and the Section "
+          "4.2 modified MMM both collapse to N^3/M — far below the sum of "
+          "their per-statement bounds — exactly the paper's worked "
+          "examples.")
+
+
+if __name__ == "__main__":
+    main()

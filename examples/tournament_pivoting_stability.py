@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Stability study: tournament pivoting vs partial pivoting (Section 7.3).
+
+The paper adopts tournament pivoting because it is "shown to be as
+stable as partial pivoting" (Grigori et al.) while cutting the pivoting
+latency from O(N) to O(N/v).  This study measures element growth and
+factorization residuals of COnfLUX's tournament against LAPACK-style
+GEPP over a batch of random matrices, plus two classic adversarial
+cases.
+
+Usage:  python examples/tournament_pivoting_stability.py [N] [TRIALS]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.algorithms import conflux_lu
+from repro.kernels import (
+    growth_factor,
+    lu_partial_pivot,
+    permutation_from_pivots,
+    split_lu,
+)
+
+
+def gepp_stats(a: np.ndarray) -> tuple[float, float]:
+    lu, piv = lu_partial_pivot(a)
+    lower, upper = split_lu(lu)
+    perm = permutation_from_pivots(piv)
+    res = np.linalg.norm(a[perm] - lower @ upper) / np.linalg.norm(a)
+    return growth_factor(a, upper), res
+
+
+def conflux_stats(a: np.ndarray) -> tuple[float, float]:
+    r = conflux_lu(a, 4, grid=(2, 2, 1), v=8)
+    return growth_factor(a, r.upper), r.residual
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    rng = np.random.default_rng(42)
+
+    print(f"{trials} random N={n} matrices "
+          f"(growth = max|U| / max|A|):\n")
+    print(f"{'trial':>5} {'GEPP growth':>12} {'TSLU growth':>12} "
+          f"{'GEPP resid':>12} {'TSLU resid':>12}")
+    worst = 0.0
+    for trial in range(trials):
+        a = rng.standard_normal((n, n))
+        g_pp, r_pp = gepp_stats(a)
+        g_t, r_t = conflux_stats(a)
+        worst = max(worst, g_t / g_pp)
+        print(f"{trial:>5} {g_pp:>12.2f} {g_t:>12.2f} "
+              f"{r_pp:>12.2e} {r_t:>12.2e}")
+    print(f"\nWorst tournament/GEPP growth ratio: {worst:.2f}")
+
+    print("\nAdversarial cases:")
+    # Wilkinson's growth matrix: GEPP growth 2^(N-1); both pivoting
+    # schemes behave identically here (the pivot order is forced).
+    nw = 24
+    w = -np.tril(np.ones((nw, nw)), -1) + np.eye(nw)
+    w[:, -1] = 1.0
+    g_pp, r_pp = gepp_stats(w)
+    g_t, r_t = conflux_stats(
+        np.asarray(w, dtype=float)
+    )
+    print(f"  Wilkinson N={nw}: GEPP growth {g_pp:.3g} "
+          f"(theory 2^{nw - 1} = {2.0 ** (nw - 1):.3g}), "
+          f"TSLU growth {g_t:.3g}")
+
+    # Near-singular leading blocks: pivoting is mandatory.
+    a = rng.standard_normal((64, 64))
+    a[:8, :8] *= 1e-14
+    g_pp, r_pp = gepp_stats(a)
+    g_t, r_t = conflux_stats(a)
+    print(f"  near-singular leading block: residuals "
+          f"GEPP {r_pp:.2e}, TSLU {r_t:.2e}")
+    print("\nTournament pivoting tracks partial pivoting closely — the "
+          "Grigori et al. stability result the paper cites.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Distributed LU factorizations on the simulated MPI substrate.
+
+* :mod:`repro.algorithms.conflux` — COnfLUX (paper Algorithm 1): the
+  2.5D, row-masking, tournament-pivoting near-communication-optimal LU.
+* :mod:`repro.algorithms.scalapack2d` — the LibSci/ScaLAPACK baseline:
+  2D block-cyclic right-looking GEPP with physical row swapping.
+* :mod:`repro.algorithms.slate2d` — the SLATE baseline (same 2D family,
+  SLATE's defaults: small fixed block size, no user tuning required).
+* :mod:`repro.algorithms.candmc25d` — the CANDMC-like 2.5D baseline:
+  tournament pivoting with physical row swapping on replicated layers
+  and full-width panel replication (cost ~5 N^3 / (P sqrt(M))).
+* :mod:`repro.algorithms.gridopt` — Processor Grid Optimization
+  (Section 8): pick the cheapest [sqrt(P1), sqrt(P1), c] grid, possibly
+  disabling a minor fraction of ranks.
+
+Extensions beyond the paper's evaluation (its stated future work):
+
+* :mod:`repro.algorithms.cholesky25d` — COnfLUX-style 2.5D Cholesky.
+* :mod:`repro.algorithms.mmm25d` — the communication-optimal 2.5D MMM
+  of the paper's methodological ancestor [42], measured against the
+  2 N^3/(P sqrt(M)) bound the theory package derives.
+
+Every implementation returns a :class:`~repro.algorithms.base.FactorResult`
+carrying assembled global factors, the row permutation, the residual
+``||P A - L U|| / ||A||`` and the full communication-volume report.
+"""
+
+from repro.algorithms.base import FactorResult, IMPLEMENTATIONS, factor_by_name
+from repro.algorithms.conflux import conflux_lu
+from repro.algorithms.cholesky25d import cholesky25d_lu
+from repro.algorithms.mmm25d import mmm25d, mmm25d_model_bytes
+from repro.algorithms.scalapack2d import scalapack2d_lu
+from repro.algorithms.slate2d import slate2d_lu
+from repro.algorithms.candmc25d import candmc25d_lu
+from repro.algorithms.gridopt import (
+    GridChoice,
+    optimize_grid_25d,
+    choose_grid_2d,
+)
+
+__all__ = [
+    "FactorResult",
+    "GridChoice",
+    "IMPLEMENTATIONS",
+    "candmc25d_lu",
+    "cholesky25d_lu",
+    "choose_grid_2d",
+    "conflux_lu",
+    "factor_by_name",
+    "mmm25d",
+    "mmm25d_model_bytes",
+    "optimize_grid_25d",
+    "scalapack2d_lu",
+    "slate2d_lu",
+]

@@ -1,0 +1,114 @@
+"""Shared result type and assembly/verification helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.linalg import lu_residual
+from repro.smpi.volume import VolumeReport
+
+
+@dataclass(frozen=True)
+class FactorResult:
+    """Outcome of one distributed LU factorization run.
+
+    Attributes
+    ----------
+    name:
+        Implementation name ("conflux", "scalapack2d", ...).
+    n, nranks:
+        Problem size and ranks in the communicator (including any ranks
+        the grid optimizer disabled).
+    grid:
+        Grid dimensions actually used ((Pr, Pc) or (G, G, c)).
+    block:
+        Panel width (v for the 2.5D algorithms, nb for the 2D ones).
+    lower, upper:
+        Assembled global factors (L unit-lower, U upper) of P A.
+    perm:
+        Row order: ``P A == A[perm]``.
+    volume:
+        Per-rank communication ledger snapshot.
+    residual:
+        ``||P A - L U||_F / ||A||_F``.
+    meta:
+        Implementation-specific extras (e.g. active rank count).
+    """
+
+    name: str
+    n: int
+    nranks: int
+    grid: tuple[int, ...]
+    block: int
+    lower: np.ndarray
+    upper: np.ndarray
+    perm: np.ndarray
+    volume: VolumeReport
+    residual: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.volume.total_bytes
+
+    @property
+    def per_rank_bytes(self) -> float:
+        return self.volume.per_rank_bytes
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: N={self.n} P={self.nranks} grid={self.grid} "
+            f"block={self.block} residual={self.residual:.2e} "
+            f"volume={self.volume.total_bytes:,} B"
+        )
+
+
+def verify_factors(
+    a: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    perm: np.ndarray,
+) -> float:
+    """Residual of the assembled factors; raises on shape mismatch."""
+    n = a.shape[0]
+    if lower.shape != (n, n) or upper.shape != (n, n):
+        raise ValueError(
+            f"factor shapes {lower.shape}/{upper.shape} != ({n},{n})"
+        )
+    if sorted(perm.tolist()) != list(range(n)):
+        raise ValueError("perm is not a permutation of 0..N-1")
+    return lu_residual(a, lower, upper, perm)
+
+
+def validate_input_matrix(a: np.ndarray) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {arr.shape}")
+    return arr
+
+
+# Filled by repro.algorithms.__init__ imports at module import time; the
+# registry maps implementation names to their factor functions.
+IMPLEMENTATIONS: dict[str, object] = {}
+
+
+def register(name: str):
+    def deco(fn):
+        IMPLEMENTATIONS[name] = fn
+        return fn
+
+    return deco
+
+
+def factor_by_name(name: str, a: np.ndarray, nranks: int, **kw) -> FactorResult:
+    """Dispatch to a registered implementation by name."""
+    try:
+        fn = IMPLEMENTATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown implementation {name!r}; available: "
+            f"{sorted(IMPLEMENTATIONS)}"
+        ) from None
+    return fn(a, nranks, **kw)

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+factor   factor a random matrix with any implementation, report
+         residual + volume (phase breakdown with -v)
+bounds   print the I/O lower bound of a kernel (lu / mmm / cholesky)
+plan     Processor Grid Optimization + model predictions for a machine
+models   evaluate the Table 2 models at one (N, P)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_factor(args: argparse.Namespace) -> int:
+    from repro.algorithms import factor_by_name
+
+    rng = np.random.default_rng(args.seed)
+    if args.impl == "cholesky25d":
+        b = rng.standard_normal((args.n, args.n))
+        a = b @ b.T + args.n * np.eye(args.n)
+    else:
+        a = rng.standard_normal((args.n, args.n))
+    kwargs = {}
+    if args.v is not None:
+        kwargs["v"] = args.v
+    if args.nb is not None:
+        kwargs["nb"] = args.nb
+    res = factor_by_name(args.impl, a, args.p, **kwargs)
+    print(res.describe())
+    print(f"per-rank volume: {res.volume.per_rank_bytes:,.0f} B")
+    if args.verbose:
+        for phase, nbytes in sorted(
+            res.volume.phase_bytes.items(), key=lambda kv: -kv[1]
+        ):
+            msgs = res.volume.phase_messages.get(phase, 0)
+            print(f"  {phase:<20} {nbytes:>12,} B  {msgs:>8,} msgs")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.theory import (
+        cholesky_program,
+        lu_program,
+        mmm_program,
+        program_lower_bound,
+    )
+
+    programs = {
+        "lu": lu_program,
+        "mmm": mmm_program,
+        "cholesky": cholesky_program,
+    }
+    pb = program_lower_bound(programs[args.kernel](), args.n, float(args.m))
+    print(f"{args.kernel.upper()} I/O lower bound, N={args.n}, M={args.m:g}:")
+    for name, q in pb.per_statement.items():
+        print(f"  {name:<4} Q >= {q:,.0f} elements")
+    print(f"  total   Q >= {pb.q_total:,.0f} elements "
+          f"({pb.q_total * 8 / 1e6:.2f} MB)")
+    if args.p > 1:
+        print(f"  parallel (P={args.p}): Q >= {pb.q_parallel(args.p):,.0f} "
+              f"elements/processor")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.algorithms.gridopt import optimize_grid_25d
+    from repro.models.machines import LAPTOP_SIM, PIZ_DAINT, SUMMIT
+    from repro.models.prediction import (
+        reduction_vs_second_best,
+        sweep_models,
+    )
+
+    machines = {
+        "piz_daint": PIZ_DAINT,
+        "summit": SUMMIT,
+        "laptop": LAPTOP_SIM,
+    }
+    machine = machines[args.machine]
+    p = args.p or machine.total_ranks
+    choice = optimize_grid_25d(
+        p, args.n, m_max=machine.memory_per_rank_elements
+    )
+    print(f"{machine.name}: N={args.n:,}, P={p:,}")
+    print(f"grid [G,G,c] = [{choice.grid_rows}, {choice.grid_rows}, "
+          f"{choice.layers}], {choice.disabled_ranks} ranks disabled")
+    for impl, vol in sorted(
+        sweep_models(args.n, p).items(), key=lambda kv: kv[1]
+    ):
+        print(f"  {impl:<14} {vol / 1e9:10.3f} GB")
+    point = reduction_vs_second_best(args.n, p)
+    print(f"best: {point.best} ({point.reduction:.2f}x less than "
+          f"{point.second_best})")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.models.prediction import sweep_models
+
+    volumes = sweep_models(args.n, args.p, leading_only=args.leading)
+    flavor = "leading factors" if args.leading else "exact per-step"
+    print(f"Table 2 models ({flavor}), N={args.n:,}, P={args.p:,}:")
+    for impl, vol in sorted(volumes.items(), key=lambda kv: kv[1]):
+        print(f"  {impl:<14} {vol / 1e9:10.3f} GB total, "
+              f"{vol / args.p / 1e6:8.2f} MB/rank")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COnfLUX reproduction toolkit (PPoPP 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    f = sub.add_parser("factor", help="run a distributed factorization")
+    f.add_argument("--impl", default="conflux",
+                   choices=["conflux", "scalapack2d", "slate2d",
+                            "candmc25d", "cholesky25d"])
+    f.add_argument("--n", type=int, default=256)
+    f.add_argument("--p", type=int, default=16)
+    f.add_argument("--v", type=int, default=None, help="2.5D block size")
+    f.add_argument("--nb", type=int, default=None, help="2D block size")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("-v", "--verbose", action="store_true",
+                   dest="verbose")
+    f.set_defaults(fn=_cmd_factor)
+
+    b = sub.add_parser("bounds", help="derive I/O lower bounds")
+    b.add_argument("--kernel", default="lu",
+                   choices=["lu", "mmm", "cholesky"])
+    b.add_argument("--n", type=int, default=4096)
+    b.add_argument("--m", type=float, default=1 << 20)
+    b.add_argument("--p", type=int, default=1)
+    b.set_defaults(fn=_cmd_bounds)
+
+    p = sub.add_parser("plan", help="plan a run on a machine preset")
+    p.add_argument("--machine", default="piz_daint",
+                   choices=["piz_daint", "summit", "laptop"])
+    p.add_argument("--n", type=int, default=16384)
+    p.add_argument("--p", type=int, default=None)
+    p.set_defaults(fn=_cmd_plan)
+
+    m = sub.add_parser("models", help="evaluate the Table 2 models")
+    m.add_argument("--n", type=int, default=16384)
+    m.add_argument("--p", type=int, default=1024)
+    m.add_argument("--leading", action="store_true",
+                   help="leading factors only (figure convention)")
+    m.set_defaults(fn=_cmd_models)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

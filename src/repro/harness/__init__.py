@@ -1,0 +1,34 @@
+"""Experiment harness shared by the benchmark suite and the examples.
+
+* :mod:`repro.harness.runner` — run one implementation at one (N, P)
+  with consistent grid/blocking choices, returning measured + modeled
+  volume and the "prediction %" the paper reports in Table 2.
+* :mod:`repro.harness.experiments` — the canned experiment definitions
+  (Table 2 cells, Figure 6a/6b sweeps, Figure 7 grids) at both paper
+  scale (models) and simulator scale (measured).
+* :mod:`repro.harness.reporting` — paper-style ASCII tables and series.
+"""
+
+from repro.harness.runner import ExperimentRecord, run_experiment
+from repro.harness.experiments import (
+    table2_model_rows,
+    table2_measured_rows,
+    fig6a_strong_scaling,
+    fig6b_weak_scaling,
+    fig7_reduction_grid,
+    lower_bound_gap,
+)
+from repro.harness.reporting import format_table, format_series
+
+__all__ = [
+    "ExperimentRecord",
+    "fig6a_strong_scaling",
+    "fig6b_weak_scaling",
+    "fig7_reduction_grid",
+    "format_series",
+    "format_table",
+    "lower_bound_gap",
+    "run_experiment",
+    "table2_measured_rows",
+    "table2_model_rows",
+]

@@ -1,0 +1,296 @@
+"""Canned experiment definitions — one per paper table/figure.
+
+Each function returns plain data (lists of dicts) so benchmarks can both
+print paper-style rows and assert shape properties.  Paper-scale numbers
+come from the Table 2 models; measured numbers from simulator runs at
+reduced (N, P) — the substitution DESIGN.md documents.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.harness.runner import IMPLEMENTATION_NAMES, run_experiment
+from repro.models.prediction import (
+    algorithmic_memory,
+    choose_c_max_replication,
+    reduction_vs_second_best,
+    sweep_models,
+    weak_scaling_n,
+)
+from repro.theory.bounds import lu_parallel_lower_bound_leading
+
+#: The paper's Table 2 cells.
+TABLE2_PAPER_POINTS = (
+    (4096, 64),
+    (4096, 1024),
+    (16384, 64),
+    (16384, 1024),
+)
+
+#: Paper-reported Table 2 values (GB) for regression comparison:
+#: {(N, P): {impl: (measured, modeled)}}.
+TABLE2_PAPER_GB = {
+    (4096, 64): {
+        "scalapack2d": (1.17, 1.21),
+        "slate2d": (1.18, 1.21),
+        "candmc25d": (2.5, 4.9),
+        "conflux": (1.11, 1.08),
+    },
+    (4096, 1024): {
+        "scalapack2d": (4.45, 4.43),
+        "slate2d": (4.35, 4.43),
+        "candmc25d": (9.3, 12.13),
+        "conflux": (3.13, 3.07),
+    },
+    (16384, 64): {
+        "scalapack2d": (18.79, 19.33),
+        "slate2d": (18.84, 19.33),
+        "candmc25d": (39.8, 78.74),
+        "conflux": (17.61, 17.19),
+    },
+    (16384, 1024): {
+        "scalapack2d": (70.91, 70.87),
+        "slate2d": (71.1, 70.87),
+        "candmc25d": (144.0, 194.09),
+        "conflux": (45.42, 44.77),
+    },
+}
+
+
+def table2_model_rows() -> list[dict]:
+    """E1: evaluate our Table 2 models at the paper's exact (N, P)."""
+    rows = []
+    for n, p in TABLE2_PAPER_POINTS:
+        volumes = sweep_models(n, p)
+        for impl, vol in volumes.items():
+            paper_meas, paper_model = TABLE2_PAPER_GB[(n, p)][impl]
+            rows.append(
+                {
+                    "n": n,
+                    "p": p,
+                    "impl": impl,
+                    "model_gb": vol / 1e9,
+                    "paper_measured_gb": paper_meas,
+                    "paper_modeled_gb": paper_model,
+                }
+            )
+    return rows
+
+
+def table2_measured_rows(
+    points: Sequence[tuple[int, int]] = ((128, 16), (256, 16)),
+    impls: Sequence[str] = IMPLEMENTATION_NAMES,
+    seed: int = 0,
+) -> list[dict]:
+    """E2: measured (simulated) vs modeled at reduced scale."""
+    rows = []
+    for n, p in points:
+        for impl in impls:
+            rec = run_experiment(impl, n, p, seed=seed)
+            rows.append(
+                {
+                    "n": n,
+                    "p": p,
+                    "impl": impl,
+                    "measured_bytes": rec.measured_bytes,
+                    "modeled_bytes": rec.modeled_bytes,
+                    "prediction_pct": rec.prediction_pct,
+                    "residual": rec.residual,
+                    "grid": rec.grid,
+                }
+            )
+    return rows
+
+
+def fig6a_strong_scaling(
+    n: int = 256,
+    p_values: Sequence[int] = (4, 8, 16, 32, 64),
+    impls: Sequence[str] = IMPLEMENTATION_NAMES,
+    measured: bool = True,
+    model_n: int = 16384,
+    model_p_values: Sequence[int] = (16, 64, 256, 1024, 4096, 16384),
+    seed: int = 0,
+) -> dict:
+    """E3: per-node communication volume vs P.
+
+    ``measured`` runs the simulator at reduced (n, p_values); the model
+    series is evaluated at the paper's N = 16,384 over a wide P range.
+    """
+    out: dict = {"measured": [], "model": []}
+    if measured:
+        for p in p_values:
+            for impl in impls:
+                rec = run_experiment(impl, n, p, seed=seed)
+                out["measured"].append(
+                    {
+                        "impl": impl,
+                        "n": n,
+                        "p": p,
+                        "per_rank_bytes": rec.per_rank_bytes,
+                        "total_bytes": rec.measured_bytes,
+                    }
+                )
+    for p in model_p_values:
+        volumes = sweep_models(model_n, p)
+        for impl, vol in volumes.items():
+            out["model"].append(
+                {
+                    "impl": impl,
+                    "n": model_n,
+                    "p": p,
+                    "per_rank_bytes": vol / p,
+                }
+            )
+    return out
+
+
+def fig6b_weak_scaling(
+    n0: int = 64,
+    p_values: Sequence[int] = (4, 8, 27, 64),
+    impls: Sequence[str] = IMPLEMENTATION_NAMES,
+    measured: bool = True,
+    model_n0: int = 3200,
+    model_p_values: Sequence[int] = (8, 64, 512, 4096, 32768),
+    seed: int = 0,
+) -> dict:
+    """E4: weak scaling N = N0 * P^(1/3) (constant work per node).
+
+    The paper's headline: 2.5D algorithms hold per-node volume constant
+    while 2D grows as P^(1/6).
+    """
+    out: dict = {"measured": [], "model": []}
+    if measured:
+        for p in p_values:
+            n = max(weak_scaling_n(p, n0), 16)
+            n = int(math.ceil(n / 8) * 8)  # keep blocks tidy
+            for impl in impls:
+                rec = run_experiment(impl, n, p, seed=seed)
+                out["measured"].append(
+                    {
+                        "impl": impl,
+                        "n": n,
+                        "p": p,
+                        "per_rank_bytes": rec.per_rank_bytes,
+                    }
+                )
+    for p in model_p_values:
+        n = weak_scaling_n(p, model_n0)
+        volumes = sweep_models(n, p)
+        for impl, vol in volumes.items():
+            out["model"].append(
+                {
+                    "impl": impl,
+                    "n": n,
+                    "p": p,
+                    "per_rank_bytes": vol / p,
+                }
+            )
+    return out
+
+
+def fig7_reduction_grid(
+    n_values: Sequence[int] = (4096, 8192, 16384),
+    p_values: Sequence[int] = (64, 256, 1024, 4096, 16384, 65536, 262144),
+    leading_only: bool = True,
+) -> list[dict]:
+    """E5: predicted communication reduction vs the second-best
+    implementation over a (P, N) grid (Figure 7's heat map).
+
+    ``leading_only`` defaults to the paper's figure convention ("only
+    the leading factors of the models are shown"); pass False for the
+    exact per-step models, whose reductions saturate at very large P
+    because the A00-broadcast term stops being negligible.
+    """
+    rows = []
+    for n in n_values:
+        for p in p_values:
+            point = reduction_vs_second_best(n, p, leading_only=leading_only)
+            best_vol = min(point.volumes.values())
+            rows.append(
+                {
+                    "n": n,
+                    "p": p,
+                    "best": point.best,
+                    "second_best": point.second_best,
+                    "reduction": point.reduction,
+                    "conflux_vs_best": point.volumes["conflux"] / best_vol,
+                }
+            )
+    return rows
+
+
+def summit_prediction(n: int = 16384) -> dict:
+    """The "2.1x less on a full-scale Summit run" claim (Section 9).
+
+    Reported with both model flavours: the paper's figures use leading
+    factors only (ratio ~2.0); the exact per-step model gives ~1.8
+    because COnfLUX's reduce terms are not negligible at maximum
+    replication (EXPERIMENTS.md discusses this nuance).
+    """
+    from repro.models.machines import SUMMIT
+
+    p = SUMMIT.total_ranks
+    exact = reduction_vs_second_best(n, p)
+    leading = reduction_vs_second_best(n, p, leading_only=True)
+    return {
+        "machine": SUMMIT.name,
+        "n": n,
+        "p": p,
+        "best": exact.best,
+        "second_best": exact.second_best,
+        "reduction_exact": exact.reduction,
+        "reduction_leading": leading.reduction,
+    }
+
+
+def lower_bound_gap(
+    n_values: Sequence[int] = (64, 128, 256),
+    p: int = 16,
+    seed: int = 0,
+) -> list[dict]:
+    """E6: measured COnfLUX volume vs the Section 6 lower bound.
+
+    The leading-order ratio tends to 1.5 (the "1/3 over the bound"
+    claim); at small N the O(N^2) terms push it higher.
+    """
+    rows = []
+    for n in n_values:
+        rec = run_experiment("conflux", n, p, seed=seed)
+        g, _, c = rec.grid
+        m = algorithmic_memory(n, g * g * c, c)
+        bound_total = (
+            lu_parallel_lower_bound_leading(n, m, g * g * c) * (g * g * c)
+        )
+        rows.append(
+            {
+                "n": n,
+                "p": p,
+                "grid": rec.grid,
+                "measured_elements": rec.measured_bytes / 8,
+                "bound_elements": bound_total,
+                "gap": (rec.measured_bytes / 8) / bound_total,
+            }
+        )
+    return rows
+
+
+def model_gap_at_scale(
+    n: int = 65536, p: int = 4096, c: int = 2
+) -> float:
+    """Gap of the exact COnfLUX model over the lower bound at large N.
+
+    Tends to 1.5 — the paper's "only a factor of 1/3 over" — in the
+    regime c << P^(1/3), where the panel-exchange term dominates.  At
+    maximum replication c = P^(1/3) the reduce terms equal the panel
+    term and the gap approaches 3 (a reproduction finding recorded in
+    EXPERIMENTS.md; the paper's O(N^2/P) notation treats c as a
+    constant).
+    """
+    from repro.models.costmodels import conflux_total_bytes
+
+    m = algorithmic_memory(n, p, c)
+    model = conflux_total_bytes(n, p, c=c, v=c)
+    bound = lu_parallel_lower_bound_leading(n, m, p) * p * 8
+    return model / bound

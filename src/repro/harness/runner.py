@@ -1,0 +1,129 @@
+"""Single-experiment runner: one implementation at one (N, P).
+
+Grid and blocking choices mirror the paper's experimental setup:
+
+* 2.5D implementations get the Processor-Grid-Optimized [G, G, c] for
+  the offered P (max replication the model likes), with v a small
+  multiple of c (Section 7.2's v = a c);
+* 2D implementations get the nearly-square grid their libraries build
+  (LibSci: wide; SLATE: tall) and their block-size defaults.
+
+The record pairs the measured (simulated) volume with the matching
+analytic model — ``prediction_pct`` is Table 2's "(prediction %)"
+column, measured / modeled * 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms import factor_by_name
+from repro.algorithms.gridopt import choose_grid_2d, optimize_grid_25d
+from repro.models.costmodels import (
+    candmc_sim_total_bytes,
+    conflux_total_bytes,
+    scalapack2d_total_bytes,
+    slate_total_bytes,
+)
+
+IMPLEMENTATION_NAMES = ("scalapack2d", "slate2d", "candmc25d", "conflux")
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One measured data point plus its model prediction."""
+
+    impl: str
+    n: int
+    p: int
+    grid: tuple[int, ...]
+    block: int
+    measured_bytes: int
+    modeled_bytes: float
+    residual: float
+    phase_bytes: dict[str, int]
+
+    @property
+    def prediction_pct(self) -> float:
+        """measured / modeled * 100 (Table 2's prediction column)."""
+        if self.modeled_bytes == 0:
+            return float("nan")
+        return 100.0 * self.measured_bytes / self.modeled_bytes
+
+    @property
+    def per_rank_bytes(self) -> float:
+        return self.measured_bytes / self.p
+
+    @property
+    def measured_gb(self) -> float:
+        return self.measured_bytes / 1e9
+
+
+def pick_params(
+    impl: str, n: int, p: int, v: int | None = None, nb: int | None = None
+) -> dict:
+    """Grid/blocking parameters for an implementation at (N, P)."""
+    if impl in ("conflux", "candmc25d"):
+        choice = optimize_grid_25d(p, n)
+        g, c = choice.grid_rows, choice.layers
+        if v is None:
+            v = max(c, 2)
+        return {"grid": (g, g, c), "v": v}
+    if impl == "scalapack2d":
+        return {"grid": choose_grid_2d(p), "nb": nb or 32}
+    if impl == "slate2d":
+        return {"grid": choose_grid_2d(p, prefer_tall=True), "nb": nb or 16}
+    raise KeyError(f"unknown implementation {impl!r}")
+
+
+def model_for(impl: str, n: int, p: int, params: dict) -> float:
+    """The analytic model matching a measured configuration."""
+    if impl == "conflux":
+        g, _, c = params["grid"]
+        return conflux_total_bytes(n, g * g * c, c=c, v=params["v"],
+                                   grid_rows=g)
+    if impl == "candmc25d":
+        g, _, c = params["grid"]
+        return candmc_sim_total_bytes(n, g * g * c, c=c, v=params["v"],
+                                      grid_rows=g)
+    if impl == "scalapack2d":
+        pr, pc = params["grid"]
+        return scalapack2d_total_bytes(n, pr * pc)
+    if impl == "slate2d":
+        pr, pc = params["grid"]
+        return slate_total_bytes(n, pr * pc)
+    raise KeyError(f"unknown implementation {impl!r}")
+
+
+def run_experiment(
+    impl: str,
+    n: int,
+    p: int,
+    seed: int = 0,
+    v: int | None = None,
+    nb: int | None = None,
+    a: np.ndarray | None = None,
+) -> ExperimentRecord:
+    """Factor a random N x N matrix with ``impl`` on ``p`` ranks."""
+    if a is None:
+        a = np.random.default_rng(seed).standard_normal((n, n))
+    params = pick_params(impl, n, p, v=v, nb=nb)
+    result = factor_by_name(impl, a, p, **params)
+    if result.residual > 1e-10:
+        raise RuntimeError(
+            f"{impl} produced residual {result.residual:.2e} at "
+            f"N={n}, P={p} — refusing to report volume for a broken run"
+        )
+    return ExperimentRecord(
+        impl=impl,
+        n=n,
+        p=p,
+        grid=result.grid,
+        block=result.block,
+        measured_bytes=result.volume.total_bytes,
+        modeled_bytes=model_for(impl, n, p, params),
+        residual=result.residual,
+        phase_bytes=dict(result.volume.phase_bytes),
+    )

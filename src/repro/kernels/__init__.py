@@ -1,0 +1,49 @@
+"""Sequential numerical building blocks.
+
+Rank-local pieces the distributed algorithms are assembled from: plain
+and blocked Gaussian elimination, triangular solves, the tournament-
+pivoting (TSLU) selection kernels of paper Section 7.3, and verification
+helpers (residuals, growth factors).
+
+Everything here is vectorized numpy — loops only over block columns,
+never over scalar elements — per the hpc-parallel guide's "vectorize the
+inner loops, mind views vs copies" idioms.
+"""
+
+from repro.kernels.lu_seq import (
+    lu_nopivot,
+    lu_partial_pivot,
+    lu_blocked_partial_pivot,
+    split_lu,
+    apply_row_permutation,
+)
+from repro.kernels.linalg import (
+    trsm_lower_unit,
+    trsm_upper,
+    lu_residual,
+    growth_factor,
+    permutation_from_pivots,
+)
+from repro.kernels.tournament import (
+    PivotCandidates,
+    local_candidates,
+    merge_candidates,
+    tournament_pivot_rows,
+)
+
+__all__ = [
+    "PivotCandidates",
+    "apply_row_permutation",
+    "growth_factor",
+    "local_candidates",
+    "lu_blocked_partial_pivot",
+    "lu_nopivot",
+    "lu_partial_pivot",
+    "lu_residual",
+    "merge_candidates",
+    "permutation_from_pivots",
+    "split_lu",
+    "tournament_pivot_rows",
+    "trsm_lower_unit",
+    "trsm_upper",
+]

@@ -1,0 +1,132 @@
+"""Sequential LU factorizations (rank-local kernels).
+
+The distributed algorithms never factor more than a panel or a v x v
+block locally, so these routines favour clarity + vectorized updates
+over cache blocking heroics; the blocked variant exists to demonstrate
+the classic right-looking structure the 2D baselines mirror across the
+process grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lu_nopivot(a: np.ndarray, overwrite: bool = False) -> np.ndarray:
+    """In-place LU without pivoting (paper Figure 1's loop nest).
+
+    Returns the combined factors: L strictly below the diagonal (unit
+    diagonal implied), U on and above.  Raises on a zero pivot — callers
+    that can encounter one must pivot.
+    """
+    lu = _as_square(a, overwrite)
+    n = lu.shape[0]
+    for k in range(n - 1):
+        pivot = lu[k, k]
+        if pivot == 0.0:
+            raise ZeroDivisionError(
+                f"zero pivot at k={k}; use lu_partial_pivot"
+            )
+        lu[k + 1 :, k] /= pivot                       # S1: column update
+        lu[k + 1 :, k + 1 :] -= np.outer(             # S2: Schur update
+            lu[k + 1 :, k], lu[k, k + 1 :]
+        )
+    return lu
+
+
+def lu_partial_pivot(
+    a: np.ndarray, overwrite: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unblocked GEPP on an (m, n) matrix (rectangular panels allowed —
+    tall panels are exactly what TSLU factors).
+
+    Returns ``(lu, piv)`` where ``piv[k]`` is the row swapped into
+    position k at step k (LAPACK getrf convention, 0-based, length
+    min(m, n)).
+    """
+    lu = _as_matrix(a, overwrite)
+    m, n = lu.shape
+    steps = min(m, n)
+    piv = np.arange(steps)
+    for k in range(steps):
+        p = k + int(np.argmax(np.abs(lu[k:, k])))
+        piv[k] = p
+        if p != k:
+            lu[[k, p], :] = lu[[p, k], :]
+        pivot = lu[k, k]
+        if pivot == 0.0:
+            continue  # singular column: L entries stay zero
+        if k + 1 < m:
+            lu[k + 1 :, k] /= pivot
+            lu[k + 1 :, k + 1 :] -= np.outer(lu[k + 1 :, k], lu[k, k + 1 :])
+    return lu, piv
+
+
+def lu_blocked_partial_pivot(
+    a: np.ndarray, block: int = 32, overwrite: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Right-looking blocked GEPP (the schedule the 2D baselines
+    distribute).
+
+    For each panel: factor it with unblocked GEPP, apply its swaps to
+    the left and right of the panel, triangular-solve the U block row,
+    then one GEMM updates the trailing matrix.
+    """
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    lu = _as_square(a, overwrite)
+    n = lu.shape[0]
+    piv = np.arange(n)
+    for k0 in range(0, n, block):
+        k1 = min(k0 + block, n)
+        panel_lu, panel_piv = lu_partial_pivot(lu[k0:, k0:k1].copy())
+        lu[k0:, k0:k1] = panel_lu
+        # Convert panel-local pivots to global rows and swap the rest of
+        # the matrix (left of the panel and right of it).
+        for i, p in enumerate(panel_piv):
+            gi, gp = k0 + i, k0 + int(p)
+            piv[gi] = gp
+            if gp != gi:
+                lu[[gi, gp], :k0] = lu[[gp, gi], :k0]
+                lu[[gi, gp], k1:] = lu[[gp, gi], k1:]
+        if k1 < n:
+            l00 = np.tril(lu[k0:k1, k0:k1], -1) + np.eye(k1 - k0)
+            # U block row: solve L00 * U01 = A01.
+            lu[k0:k1, k1:] = np.linalg.solve(l00, lu[k0:k1, k1:])
+            # Trailing GEMM.
+            lu[k1:, k1:] -= lu[k1:, k0:k1] @ lu[k0:k1, k1:]
+    return lu, piv
+
+
+def split_lu(lu: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split combined storage into (unit-diagonal L, U)."""
+    n, m = lu.shape
+    k = min(n, m)
+    lower = np.tril(lu, -1)[:, :k]
+    np.fill_diagonal(lower, 1.0)
+    upper = np.triu(lu)[:k, :]
+    return lower, upper
+
+
+def apply_row_permutation(piv: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Apply getrf-style successive swaps ``piv`` to the rows of ``b``."""
+    out = np.array(b, copy=True)
+    for k, p in enumerate(piv):
+        p = int(p)
+        if p != k:
+            out[[k, p]] = out[[p, k]]
+    return out
+
+
+def _as_square(a: np.ndarray, overwrite: bool) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {arr.shape}")
+    return arr if overwrite else arr.copy()
+
+
+def _as_matrix(a: np.ndarray, overwrite: bool) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {arr.shape}")
+    return arr if overwrite else arr.copy()

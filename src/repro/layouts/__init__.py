@@ -1,0 +1,16 @@
+"""Data distributions for distributed matrices.
+
+Implements the index arithmetic behind the paper's decompositions:
+
+* 1D and 2D **block-cyclic** maps (ScaLAPACK's layout; the 2D baselines
+  use it directly, and cyclic = block-cyclic with block 1 is what the
+  COnfLUX implementation uses so row masking never unbalances work);
+* :class:`~repro.layouts.distribution.DistMatrix`, a per-rank local
+  store with gather/scatter helpers used by the tests to check that a
+  distributed factorization reassembles into the right global factors.
+"""
+
+from repro.layouts.block_cyclic import BlockCyclic1D, BlockCyclic2D
+from repro.layouts.distribution import DistMatrix
+
+__all__ = ["BlockCyclic1D", "BlockCyclic2D", "DistMatrix"]

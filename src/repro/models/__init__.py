@@ -1,0 +1,50 @@
+"""Analytic communication-cost models (paper Table 2) and predictions.
+
+The paper pairs every measurement with a model ("measured/modeled,
+prediction %"); the same models extrapolate to machines the authors did
+not run on (Summit, full-scale predictions of Figure 7).  This package
+implements:
+
+* :mod:`repro.models.costmodels` — exact per-step volume sums for
+  COnfLUX (the Lemma 10 terms) and the Table 2 models for the 2D
+  libraries (LibSci/ScaLAPACK, SLATE) and CANDMC;
+* :mod:`repro.models.machines` — machine presets (Piz Daint XC50 nodes,
+  Summit) that fix the per-rank memory M in elements;
+* :mod:`repro.models.prediction` — Figure 7 machinery: communication
+  reduction vs the second-best implementation over (P, N) grids.
+"""
+
+from repro.models.costmodels import (
+    CostModel,
+    conflux_model,
+    conflux_step_breakdown,
+    candmc_model,
+    scalapack2d_model,
+    slate_model,
+    model_by_name,
+    MODEL_NAMES,
+)
+from repro.models.machines import Machine, PIZ_DAINT, SUMMIT, LAPTOP_SIM
+from repro.models.prediction import (
+    reduction_vs_second_best,
+    sweep_models,
+    choose_c_max_replication,
+)
+
+__all__ = [
+    "CostModel",
+    "LAPTOP_SIM",
+    "MODEL_NAMES",
+    "Machine",
+    "PIZ_DAINT",
+    "SUMMIT",
+    "candmc_model",
+    "choose_c_max_replication",
+    "conflux_model",
+    "conflux_step_breakdown",
+    "model_by_name",
+    "reduction_vs_second_best",
+    "scalapack2d_model",
+    "slate_model",
+    "sweep_models",
+]

@@ -1,0 +1,276 @@
+"""Communication-volume models for the four LU implementations (Table 2).
+
+All models return **total bytes sent across all ranks** — the quantity
+Table 2 tabulates ("Total comm. volume ... measured/modeled [GB]") and
+Score-P aggregates.  Per-node values (Figure 6's y-axis) divide by P.
+
+* LibSci / ScaLAPACK and SLATE (2D): ``(N^2 sqrt(P) + N^2) * 8 B`` —
+  this reproduces Table 2's modeled values exactly (e.g. N = 4096,
+  P = 1024: 4.43 GB).
+* CANDMC (2.5D): the authors' own model ``5 N^3 / (P sqrt(M))`` per rank
+  [Solomonik & Demmel], quoted by the paper.
+* COnfLUX: the exact per-step sums proven in Lemma 10, with every
+  sub-step term (reduce, tournament, broadcasts, scatters, panel
+  redistribution) accounted — the same accounting the simulator's
+  per-phase ledger reports, so measured vs modeled can be compared
+  term by term.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+ELEMENT_SIZE = 8  # double precision, as in the paper's models
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A named communication model Q(N, P, M) in bytes (total)."""
+
+    name: str
+    total_bytes: Callable[..., float]
+
+    def per_rank_bytes(self, n: int, p: int, m: float, **kw) -> float:
+        return self.total_bytes(n, p, m, **kw) / p
+
+    def total_gb(self, n: int, p: int, m: float, **kw) -> float:
+        return self.total_bytes(n, p, m, **kw) / 1e9
+
+
+def _check_args(n: int, p: int, m: float) -> None:
+    if n < 1:
+        raise ValueError(f"N must be >= 1, got {n}")
+    if p < 1:
+        raise ValueError(f"P must be >= 1, got {p}")
+    if m < 1:
+        raise ValueError(f"M must be >= 1, got {m}")
+
+
+# ---------------------------------------------------------------------------
+# 2D models (LibSci / ScaLAPACK and SLATE)
+# ---------------------------------------------------------------------------
+
+def scalapack2d_total_bytes(
+    n: int, p: int, m: float = 1.0, element_size: int = ELEMENT_SIZE
+) -> float:
+    """2D block-cyclic GEPP: N^2 sqrt(P) panel/U broadcasts + N^2 swaps.
+
+    Memory-independent: the 2D algorithm cannot exploit extra memory —
+    the root of its asymptotic deficit (Table 2's "Parallel I/O cost"
+    column: N^2/sqrt(P) + O(N^2/P) per rank).
+    """
+    _check_args(n, p, m)
+    return (n**2 * math.sqrt(p) + n**2) * element_size
+
+
+def slate_total_bytes(
+    n: int, p: int, m: float = 1.0, element_size: int = ELEMENT_SIZE
+) -> float:
+    """SLATE uses the same 2D decomposition; its model coincides with
+    ScaLAPACK's (the paper: "their communication volumes are mostly
+    equal, with a slight advantage of SLATE for non-square grids")."""
+    return scalapack2d_total_bytes(n, p, m, element_size)
+
+
+# ---------------------------------------------------------------------------
+# CANDMC model (authors' published cost [56])
+# ---------------------------------------------------------------------------
+
+def candmc_total_bytes(
+    n: int, p: int, m: float, element_size: int = ELEMENT_SIZE
+) -> float:
+    """CANDMC 2.5D LU: 5 N^3 / (P sqrt(M)) + O(N^2 / (P sqrt(M))) per
+    rank, times P ranks."""
+    _check_args(n, p, m)
+    per_rank = 5.0 * n**3 / (p * math.sqrt(m)) + n**2 / (p * math.sqrt(m))
+    return per_rank * p * element_size
+
+
+# ---------------------------------------------------------------------------
+# COnfLUX exact per-step model (Lemma 10)
+# ---------------------------------------------------------------------------
+
+def derive_c_from_memory(n: int, p: int, m: float) -> int:
+    """Replication depth supported by memory M per rank: c = P M / N^2,
+    at least 1 (Section 7.2: v >= c = P M / N^2)."""
+    _check_args(n, p, m)
+    return max(1, int(p * m / n**2))
+
+
+def conflux_step_breakdown(
+    n: int,
+    p: int,
+    grid_rows: int,
+    layers: int,
+    v: int,
+    t: int,
+) -> dict[str, float]:
+    """Element counts moved in step ``t`` of Algorithm 1, by phase.
+
+    ``grid_rows`` is G = sqrt(P1) and ``layers`` is c; active rows at the
+    start of the step are n_t = N - t v and the trailing width after the
+    panel is w_t = max(N - (t+1) v, 0).
+
+    Phases (names match the simulator's ledger phases):
+
+    ==================  ==================================================
+    reduce_column       (c-1) * n_t * v        — step 1
+    tournament          2 (G-1) (v^2 + v)      — step 2 (tree reduce+bcast)
+    bcast_a00           (P-1) (v^2 + v)        — step 3
+    reduce_pivot_rows   (c-1) * v * w_t        — step 5
+    scatter_a10         (n_t - v) * v          — step 4 (1D distribution)
+    scatter_a01         v * w_t                — step 6
+    panel_a10           G * (n_t - v) * v      — step 8 (2.5D pieces)
+    panel_a01           G * v * w_t            — step 10
+    ==================  ==================================================
+    """
+    g, c = grid_rows, layers
+    n_t = n - t * v
+    w_t = max(n - (t + 1) * v, 0)
+    if n_t <= 0:
+        return {}
+    return {
+        "reduce_column": (c - 1) * n_t * v,
+        "tournament": 2.0 * (g - 1) * (v * v + v),
+        "bcast_a00": (p - 1) * (v * v + v),
+        "reduce_pivot_rows": (c - 1) * v * w_t,
+        "scatter_a10": max(n_t - v, 0) * v,
+        "scatter_a01": v * w_t,
+        "panel_a10": g * max(n_t - v, 0) * v,
+        "panel_a01": g * v * w_t,
+    }
+
+
+def conflux_total_bytes(
+    n: int,
+    p: int,
+    m: float | None = None,
+    c: int | None = None,
+    v: int | None = None,
+    grid_rows: int | None = None,
+    element_size: int = ELEMENT_SIZE,
+) -> float:
+    """Exact COnfLUX volume: sum of per-step phase terms over all N/v
+    steps.
+
+    Provide either the memory ``m`` (c is derived as P M / N^2) or the
+    replication depth ``c`` directly.  ``grid_rows`` defaults to
+    floor(sqrt(P / c)); ``v`` defaults to max(c, 2) (the paper: v = a c
+    for a small constant a).
+    """
+    if c is None:
+        if m is None:
+            raise ValueError("need either m or c")
+        c = derive_c_from_memory(n, p, m)
+    if c < 1:
+        raise ValueError(f"c must be >= 1, got {c}")
+    if grid_rows is None:
+        grid_rows = max(1, int(math.isqrt(p // c)))
+    if v is None:
+        v = max(c, 2)
+    if v < c:
+        raise ValueError(f"block size v={v} must be >= c={c} (Section 7.2)")
+    total = 0.0
+    steps = math.ceil(n / v)
+    for t in range(steps):
+        total += sum(
+            conflux_step_breakdown(n, p, grid_rows, c, v, t).values()
+        )
+    return total * element_size
+
+
+def conflux_leading_total_bytes(
+    n: int, p: int, m: float, element_size: int = ELEMENT_SIZE
+) -> float:
+    """Leading-order closed form: N^3/(P sqrt(M)) per rank, i.e.
+    N^2 (sqrt(P/c) + c) total elements with c = P M / N^2."""
+    _check_args(n, p, m)
+    c = derive_c_from_memory(n, p, m)
+    return n**2 * (math.sqrt(p / c) + c) * element_size
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+scalapack2d_model = CostModel("scalapack2d", scalapack2d_total_bytes)
+slate_model = CostModel("slate2d", slate_total_bytes)
+candmc_model = CostModel("candmc25d", candmc_total_bytes)
+conflux_model = CostModel("conflux", conflux_total_bytes)
+
+MODEL_NAMES = ("scalapack2d", "slate2d", "candmc25d", "conflux")
+
+_REGISTRY = {
+    "scalapack2d": scalapack2d_model,
+    "slate2d": slate_model,
+    "candmc25d": candmc_model,
+    "conflux": conflux_model,
+}
+
+
+def model_by_name(name: str) -> CostModel:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; choose from {MODEL_NAMES}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Exact model of the candmc25d *simulated* schedule (for prediction-%
+# comparisons against the measured runs; Table 2's CANDMC row uses the
+# authors' published closed form above).
+# ---------------------------------------------------------------------------
+
+def candmc_sim_step_breakdown(
+    n: int,
+    p: int,
+    grid_rows: int,
+    layers: int,
+    v: int,
+    t: int,
+) -> dict[str, float]:
+    """Per-step element counts of the CANDMC-like schedule: COnfLUX's
+    terms with (a) full-width panel replication (factor c on the panel
+    redistribution) and (b) physical row swaps across all layers and
+    grid columns (expected (1 - 1/G) of swap pairs cross grid rows)."""
+    base = conflux_step_breakdown(n, p, grid_rows, layers, v, t)
+    if not base:
+        return base
+    g, c = grid_rows, layers
+    w_t = max(n - (t + 1) * v, 0)
+    base["panel_a10"] *= c
+    base["panel_a01"] *= c
+    base["row_swap"] = 2.0 * v * w_t * c * (1.0 - 1.0 / g)
+    return base
+
+
+def candmc_sim_total_bytes(
+    n: int,
+    p: int,
+    m: float | None = None,
+    c: int | None = None,
+    v: int | None = None,
+    grid_rows: int | None = None,
+    element_size: int = ELEMENT_SIZE,
+) -> float:
+    """Exact volume of the candmc25d simulation (see DESIGN.md for the
+    substitution rationale)."""
+    if c is None:
+        if m is None:
+            raise ValueError("need either m or c")
+        c = derive_c_from_memory(n, p, m)
+    if grid_rows is None:
+        grid_rows = max(1, int(math.isqrt(p // c)))
+    if v is None:
+        v = max(c, 2)
+    total = 0.0
+    steps = math.ceil(n / v)
+    for t in range(steps):
+        total += sum(
+            candmc_sim_step_breakdown(n, p, grid_rows, c, v, t).values()
+        )
+    return total * element_size

@@ -1,0 +1,65 @@
+"""Explicit cDAGs, the red-blue pebble game, and X-partitioning.
+
+The theory package (:mod:`repro.theory`) derives bounds *symbolically*;
+this package grounds them on explicit computational DAGs for small
+problem sizes:
+
+* :mod:`repro.pebbling.cdag` — the graph container (versioned vertices,
+  inputs/outputs).
+* :mod:`repro.pebbling.builders` — cDAGs for LU (paper Figures 1 and 4),
+  MMM, and the Section 4 example programs.
+* :mod:`repro.pebbling.game` — the sequential red-blue pebble game of
+  Hong & Kung (Section 2.3.1): move validation and I/O counting.
+* :mod:`repro.pebbling.parallel_game` — the hued parallel extension
+  (Section 5): per-processor red pebbles, load-from-any-pebble rule.
+* :mod:`repro.pebbling.schedules` — greedy valid schedulers whose Q
+  sandwiches the lower bounds from above in the test suite.
+* :mod:`repro.pebbling.xpartition` — minimum dominator sets via min
+  vertex cut, Min sets, X-partition validation, empirical intensity.
+"""
+
+from repro.pebbling.cdag import CDag
+from repro.pebbling.builders import (
+    lu_cdag,
+    mmm_cdag,
+    shared_input_cdag,
+    modified_mmm_cdag,
+    chain_cdag,
+)
+from repro.pebbling.game import (
+    Move,
+    PebbleGame,
+    PebblingError,
+)
+from repro.pebbling.parallel_game import ParallelPebbleGame
+from repro.pebbling.schedules import (
+    greedy_schedule,
+    schedule_cost,
+    tiled_lu_schedule,
+)
+from repro.pebbling.xpartition import (
+    minimum_dominator_size,
+    min_set,
+    validate_x_partition,
+    empirical_intensity,
+)
+
+__all__ = [
+    "CDag",
+    "Move",
+    "ParallelPebbleGame",
+    "PebbleGame",
+    "PebblingError",
+    "chain_cdag",
+    "empirical_intensity",
+    "greedy_schedule",
+    "lu_cdag",
+    "min_set",
+    "minimum_dominator_size",
+    "mmm_cdag",
+    "modified_mmm_cdag",
+    "schedule_cost",
+    "shared_input_cdag",
+    "tiled_lu_schedule",
+    "validate_x_partition",
+]

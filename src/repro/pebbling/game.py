@@ -1,0 +1,154 @@
+"""The sequential red-blue pebble game (Hong & Kung; paper Section 2.3.1).
+
+Rules, verbatim from the paper:
+
+1. *load*    — place a red pebble on a vertex that has a blue pebble;
+2. *store*   — place a blue pebble on a vertex that has a red pebble;
+3. *compute* — place a red pebble on a vertex whose direct predecessors
+   all have red pebbles;
+4. *discard* — remove any pebble from a vertex.
+
+At most M red pebbles may be on the graph at any time.  The game starts
+with blue pebbles on all inputs and ends when all outputs carry blue
+pebbles; the objective Q counts loads + stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.pebbling.cdag import CDag, Vertex
+
+
+class MoveKind(Enum):
+    LOAD = "load"
+    STORE = "store"
+    COMPUTE = "compute"
+    DISCARD_RED = "discard_red"
+    DISCARD_BLUE = "discard_blue"
+
+
+@dataclass(frozen=True)
+class Move:
+    kind: MoveKind
+    vertex: Any
+
+    @staticmethod
+    def load(v: Vertex) -> "Move":
+        return Move(MoveKind.LOAD, v)
+
+    @staticmethod
+    def store(v: Vertex) -> "Move":
+        return Move(MoveKind.STORE, v)
+
+    @staticmethod
+    def compute(v: Vertex) -> "Move":
+        return Move(MoveKind.COMPUTE, v)
+
+    @staticmethod
+    def discard_red(v: Vertex) -> "Move":
+        return Move(MoveKind.DISCARD_RED, v)
+
+    @staticmethod
+    def discard_blue(v: Vertex) -> "Move":
+        return Move(MoveKind.DISCARD_BLUE, v)
+
+
+class PebblingError(RuntimeError):
+    """An illegal pebbling move."""
+
+
+class PebbleGame:
+    """Mutable game state with rule enforcement and I/O counting."""
+
+    def __init__(self, cdag: CDag, m: int) -> None:
+        if m < 1:
+            raise ValueError(f"need at least one red pebble, got M={m}")
+        self.cdag = cdag
+        self.m = m
+        self.red: set[Vertex] = set()
+        self.blue: set[Vertex] = set(cdag.inputs)
+        self.loads = 0
+        self.stores = 0
+        self.computed: set[Vertex] = set()
+        self.history: list[Move] = []
+
+    @property
+    def q(self) -> int:
+        """I/O cost so far (loads + stores)."""
+        return self.loads + self.stores
+
+    def apply(self, move: Move) -> None:
+        v = move.vertex
+        if v not in self.cdag:
+            raise PebblingError(f"unknown vertex {v!r}")
+        if move.kind is MoveKind.LOAD:
+            if v not in self.blue:
+                raise PebblingError(f"load {v!r}: no blue pebble present")
+            if v in self.red:
+                raise PebblingError(f"load {v!r}: already red")
+            self._require_red_capacity()
+            self.red.add(v)
+            self.loads += 1
+        elif move.kind is MoveKind.STORE:
+            if v not in self.red:
+                raise PebblingError(f"store {v!r}: no red pebble present")
+            if v in self.blue:
+                raise PebblingError(f"store {v!r}: already blue")
+            self.blue.add(v)
+            self.stores += 1
+        elif move.kind is MoveKind.COMPUTE:
+            preds = self.cdag.predecessors(v)
+            if not preds:
+                raise PebblingError(
+                    f"compute {v!r}: inputs cannot be computed"
+                )
+            missing = [p for p in preds if p not in self.red]
+            if missing:
+                raise PebblingError(
+                    f"compute {v!r}: predecessors without red pebbles: "
+                    f"{missing[:3]}"
+                )
+            if v not in self.red:
+                self._require_red_capacity()
+                self.red.add(v)
+            self.computed.add(v)
+        elif move.kind is MoveKind.DISCARD_RED:
+            if v not in self.red:
+                raise PebblingError(f"discard_red {v!r}: not red")
+            self.red.remove(v)
+        elif move.kind is MoveKind.DISCARD_BLUE:
+            if v not in self.blue:
+                raise PebblingError(f"discard_blue {v!r}: not blue")
+            self.blue.remove(v)
+        else:  # pragma: no cover - enum is exhaustive
+            raise PebblingError(f"unknown move kind {move.kind}")
+        self.history.append(move)
+
+    def _require_red_capacity(self) -> None:
+        if len(self.red) >= self.m:
+            raise PebblingError(
+                f"red pebble limit M={self.m} reached; discard first"
+            )
+
+    def run(self, moves: list[Move]) -> int:
+        """Apply a whole schedule; returns the final Q."""
+        for mv in moves:
+            self.apply(mv)
+        return self.q
+
+    def is_complete(self) -> bool:
+        """All outputs stored to slow memory (blue pebbles)?"""
+        return all(v in self.blue for v in self.cdag.outputs)
+
+    def assert_complete(self) -> None:
+        if not self.is_complete():
+            missing = [
+                v for v in self.cdag.outputs if v not in self.blue
+            ]
+            raise PebblingError(
+                f"{len(missing)} outputs lack blue pebbles, e.g. "
+                f"{missing[:3]}"
+            )

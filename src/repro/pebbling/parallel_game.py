@@ -1,0 +1,127 @@
+"""The parallel (hued) red-blue pebble game — paper Section 5.
+
+Each processor p owns M red pebbles of its own hue.  Rule changes vs the
+sequential game:
+
+1. *compute* — requires all direct predecessors to hold red pebbles of
+   **p's own hue** (no sharing of red pebbles between processors);
+2. *load* — if a vertex has **any** pebble (any hue, or blue), another
+   processor may place its red pebble on it; the cost is uniform — data
+   is either local or remote, with no distinction on the remote location.
+
+Q is counted per processor; Lemma 9's bound applies to
+``max_p Q_p >= |V| / (P rho)`` via the processor computing the most
+vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pebbling.cdag import CDag, Vertex
+from repro.pebbling.game import PebblingError
+
+
+@dataclass(frozen=True)
+class ParallelMove:
+    kind: str  # "load" | "store" | "compute" | "discard"
+    proc: int
+    vertex: Vertex
+
+
+class ParallelPebbleGame:
+    """Multi-hue pebble game state with rule enforcement."""
+
+    def __init__(self, cdag: CDag, nprocs: int, m: int) -> None:
+        if nprocs < 1:
+            raise ValueError(f"need at least one processor, got {nprocs}")
+        if m < 1:
+            raise ValueError(f"need at least one red pebble, got M={m}")
+        self.cdag = cdag
+        self.nprocs = nprocs
+        self.m = m
+        self.red: list[set[Vertex]] = [set() for _ in range(nprocs)]
+        self.blue: set[Vertex] = set(cdag.inputs)
+        self.loads = [0] * nprocs
+        self.stores = [0] * nprocs
+        self.computed: set[Vertex] = set()
+
+    def _check_proc(self, p: int) -> None:
+        if not 0 <= p < self.nprocs:
+            raise PebblingError(f"processor {p} out of range")
+
+    def has_any_pebble(self, v: Vertex) -> bool:
+        if v in self.blue:
+            return True
+        return any(v in r for r in self.red)
+
+    def load(self, proc: int, v: Vertex) -> None:
+        """Parallel load rule: any pebble of any hue suffices as source."""
+        self._check_proc(proc)
+        if v not in self.cdag:
+            raise PebblingError(f"unknown vertex {v!r}")
+        if v in self.red[proc]:
+            raise PebblingError(f"proc {proc} already holds {v!r}")
+        if not self.has_any_pebble(v):
+            raise PebblingError(
+                f"load {v!r}: no pebble of any hue present"
+            )
+        if len(self.red[proc]) >= self.m:
+            raise PebblingError(
+                f"proc {proc} at red-pebble limit M={self.m}"
+            )
+        self.red[proc].add(v)
+        self.loads[proc] += 1
+
+    def store(self, proc: int, v: Vertex) -> None:
+        self._check_proc(proc)
+        if v not in self.red[proc]:
+            raise PebblingError(
+                f"store {v!r}: proc {proc} holds no red pebble on it"
+            )
+        if v in self.blue:
+            raise PebblingError(f"store {v!r}: already blue")
+        self.blue.add(v)
+        self.stores[proc] += 1
+
+    def compute(self, proc: int, v: Vertex) -> None:
+        self._check_proc(proc)
+        if v not in self.cdag:
+            raise PebblingError(f"unknown vertex {v!r}")
+        preds = self.cdag.predecessors(v)
+        if not preds:
+            raise PebblingError(f"compute {v!r}: inputs cannot be computed")
+        missing = [p for p in preds if p not in self.red[proc]]
+        if missing:
+            raise PebblingError(
+                f"compute {v!r}: proc {proc} lacks red pebbles on "
+                f"{missing[:3]} (no cross-hue sharing)"
+            )
+        if v not in self.red[proc]:
+            if len(self.red[proc]) >= self.m:
+                raise PebblingError(
+                    f"proc {proc} at red-pebble limit M={self.m}"
+                )
+            self.red[proc].add(v)
+        self.computed.add(v)
+
+    def discard(self, proc: int, v: Vertex) -> None:
+        self._check_proc(proc)
+        if v not in self.red[proc]:
+            raise PebblingError(f"discard {v!r}: proc {proc} not holding it")
+        self.red[proc].remove(v)
+
+    @property
+    def q_per_proc(self) -> list[int]:
+        return [l + s for l, s in zip(self.loads, self.stores)]
+
+    @property
+    def q_total(self) -> int:
+        return sum(self.q_per_proc)
+
+    @property
+    def q_max(self) -> int:
+        return max(self.q_per_proc)
+
+    def is_complete(self) -> bool:
+        return all(v in self.blue for v in self.cdag.outputs)

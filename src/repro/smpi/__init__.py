@@ -1,0 +1,40 @@
+"""Simulated MPI substrate (``smpi``).
+
+A deterministic, thread-based SPMD runtime that stands in for the MPI
+one-sided/collective machinery the paper's C++ implementation uses on
+Piz Daint.  Every rank runs the same Python function on its own thread
+against a :class:`~repro.smpi.runtime.Comm` handle; all point-to-point
+traffic is recorded in a per-rank :class:`~repro.smpi.volume.VolumeLedger`,
+mirroring the Score-P byte counters used in the paper's evaluation.
+
+Collectives are layered *on top of* point-to-point messages (binomial
+trees, recursive doubling, ring pipelines, butterflies), so the volume a
+collective reports is the volume its implementation actually moves — the
+same property the paper relies on when instrumenting real libraries.
+"""
+
+from repro.smpi.volume import VolumeLedger, VolumeReport
+from repro.smpi.runtime import (
+    Comm,
+    DeadlockError,
+    RankFailure,
+    SmpiError,
+    ANY_SOURCE,
+    ANY_TAG,
+    run_spmd,
+)
+from repro.smpi.grid import ProcessGrid2D, ProcessGrid3D
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "DeadlockError",
+    "ProcessGrid2D",
+    "ProcessGrid3D",
+    "RankFailure",
+    "SmpiError",
+    "VolumeLedger",
+    "VolumeReport",
+    "run_spmd",
+]

@@ -1,0 +1,271 @@
+"""Optional real-MPI backend (mpi4py) behind the simulator's Comm API.
+
+The distributed algorithms only touch the duck-typed ``Comm`` surface
+(point-to-point + the collectives layered on it in
+:mod:`repro.smpi.collectives`), so the same rank functions run unchanged
+on a real cluster::
+
+    # launched as: mpiexec -n 64 python my_run.py
+    from repro.smpi.mpi_backend import mpi_world
+    comm = mpi_world()
+    result = _conflux_rank_fn(comm, a, g, c, v)   # same code as simulated
+    report = comm.aggregate_report()              # Score-P-style totals
+
+Byte accounting works exactly as in the simulator: sends are counted at
+the sender with :func:`repro.smpi.runtime.payload_nbytes`, collectives
+route through the same tree/ring implementations, and
+``aggregate_report`` allgathers the per-rank counters so every rank can
+produce the Table 2-style totals.
+
+This module imports mpi4py lazily; in environments without it (like the
+offline CI this repo ships with) everything except :func:`have_mpi4py`
+raises ``MPIUnavailableError`` and the test suite skips.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.smpi.runtime import ANY_SOURCE, ANY_TAG, payload_nbytes
+from repro.smpi.volume import VolumeReport
+
+
+class MPIUnavailableError(RuntimeError):
+    """mpi4py is not importable in this environment."""
+
+
+def have_mpi4py() -> bool:
+    try:
+        import mpi4py  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def _require_mpi():
+    try:
+        from mpi4py import MPI
+
+        return MPI
+    except ImportError as exc:  # pragma: no cover - exercised on clusters
+        raise MPIUnavailableError(
+            "mpi4py is required for the real-MPI backend; install it and "
+            "launch with mpiexec"
+        ) from exc
+
+
+class MPIBackendComm:
+    """mpi4py-backed communicator with the simulator's Comm interface.
+
+    Tags: the simulator's collectives use negative tags, which MPI
+    forbids; they are offset into a high positive band.
+    """
+
+    _TAG_OFFSET = 2**20
+
+    def __init__(self, mpi_comm: Any, counters: dict | None = None) -> None:
+        self._mpi = _require_mpi()
+        self._comm = mpi_comm
+        # counters shared across split/dup children so the report covers
+        # all traffic of the rank.
+        self._counters = counters if counters is not None else {
+            "sent": 0,
+            "recv": 0,
+            "msgs": 0,
+            "phase": None,
+            "phase_bytes": {},
+            "phase_msgs": {},
+        }
+
+    # -- introspection -------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._comm.Get_rank()
+
+    @property
+    def size(self) -> int:
+        return self._comm.Get_size()
+
+    def _tag(self, tag: int) -> int:
+        return tag + self._TAG_OFFSET
+
+    # -- point-to-point --------------------------------------------------
+    def send(self, data: Any, dest: int, tag: int = 0) -> None:
+        nbytes = payload_nbytes(data)
+        c = self._counters
+        c["sent"] += nbytes
+        c["msgs"] += 1
+        if c["phase"] is not None:
+            c["phase_bytes"][c["phase"]] = (
+                c["phase_bytes"].get(c["phase"], 0) + nbytes
+            )
+            c["phase_msgs"][c["phase"]] = (
+                c["phase_msgs"].get(c["phase"], 0) + 1
+            )
+        self._comm.send(data, dest=dest, tag=self._tag(tag))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        data, _, _ = self.recv_status(source, tag)
+        return data
+
+    def recv_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int]:
+        MPI = self._mpi
+        status = MPI.Status()
+        src = MPI.ANY_SOURCE if source == ANY_SOURCE else source
+        t = MPI.ANY_TAG if tag == ANY_TAG else self._tag(tag)
+        data = self._comm.recv(source=src, tag=t, status=status)
+        self._counters["recv"] += payload_nbytes(data)
+        return (
+            data,
+            status.Get_source(),
+            status.Get_tag() - self._TAG_OFFSET,
+        )
+
+    def Send(self, buf, dest: int, tag: int = 0) -> None:
+        self.send(buf, dest, tag)
+
+    def Recv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        import numpy as np
+
+        data, src, rtag = self.recv_status(source, tag)
+        np.copyto(buf, data)
+        return src, rtag
+
+    def sendrecv(
+        self,
+        senddata: Any,
+        dest: int,
+        source: int | None = None,
+        sendtag: int = 0,
+        recvtag: int | None = None,
+    ) -> Any:
+        if source is None:
+            source = dest
+        if recvtag is None:
+            recvtag = sendtag
+        # real MPI send may block: use the combined primitive
+        nbytes = payload_nbytes(senddata)
+        c = self._counters
+        c["sent"] += nbytes
+        c["msgs"] += 1
+        if c["phase"] is not None:
+            c["phase_bytes"][c["phase"]] = (
+                c["phase_bytes"].get(c["phase"], 0) + nbytes
+            )
+            c["phase_msgs"][c["phase"]] = (
+                c["phase_msgs"].get(c["phase"], 0) + 1
+            )
+        data = self._comm.sendrecv(
+            senddata,
+            dest=dest,
+            sendtag=self._tag(sendtag),
+            source=source,
+            recvtag=self._tag(recvtag),
+        )
+        c["recv"] += payload_nbytes(data)
+        return data
+
+    # -- metadata --------------------------------------------------------
+    def barrier(self) -> None:
+        self._comm.Barrier()
+
+    def split(self, color: int | None, key: int | None = None):
+        MPI = self._mpi
+        if key is None:
+            key = self.rank
+        mpi_color = MPI.UNDEFINED if color is None else color
+        new = self._comm.Split(mpi_color, key)
+        if new == MPI.COMM_NULL:
+            return None
+        return MPIBackendComm(new, self._counters)
+
+    def dup(self) -> "MPIBackendComm":
+        return MPIBackendComm(self._comm.Dup(), self._counters)
+
+    def phase(self, name: str | None):
+        comm = self
+
+        class _Scope:
+            def __enter__(self):
+                self._prev = comm._counters["phase"]
+                comm._counters["phase"] = name
+                return comm
+
+            def __exit__(self, *exc):
+                comm._counters["phase"] = self._prev
+
+        return _Scope()
+
+    # -- collectives: the simulator's tree/ring implementations ---------
+    def bcast(self, data: Any, root: int = 0) -> Any:
+        from repro.smpi import collectives
+
+        return collectives.bcast(self, data, root)
+
+    def reduce(self, data: Any, root: int = 0, op=None) -> Any:
+        from repro.smpi import collectives
+
+        return collectives.reduce(self, data, root, op)
+
+    def allreduce(self, data: Any, op=None) -> Any:
+        from repro.smpi import collectives
+
+        return collectives.allreduce(self, data, op)
+
+    def gather(self, data: Any, root: int = 0):
+        from repro.smpi import collectives
+
+        return collectives.gather(self, data, root)
+
+    def allgather(self, data: Any):
+        from repro.smpi import collectives
+
+        return collectives.allgather(self, data)
+
+    def scatter(self, chunks, root: int = 0):
+        from repro.smpi import collectives
+
+        return collectives.scatter(self, chunks, root)
+
+    def alltoall(self, chunks):
+        from repro.smpi import collectives
+
+        return collectives.alltoall(self, chunks)
+
+    def reduce_scatter(self, chunks, op=None):
+        from repro.smpi import collectives
+
+        return collectives.reduce_scatter(self, chunks, op)
+
+    # -- reporting -------------------------------------------------------
+    def aggregate_report(self) -> VolumeReport:
+        """Allgather per-rank counters into a global VolumeReport."""
+        c = self._counters
+        rows = self._comm.allgather(
+            (c["sent"], c["recv"], c["msgs"], c["phase_bytes"],
+             c["phase_msgs"])
+        )
+        phase_bytes: dict[str, int] = {}
+        phase_msgs: dict[str, int] = {}
+        for _, _, _, pb, pm in rows:
+            for k, v in pb.items():
+                phase_bytes[k] = phase_bytes.get(k, 0) + v
+            for k, v in pm.items():
+                phase_msgs[k] = phase_msgs.get(k, 0) + v
+        return VolumeReport(
+            nranks=len(rows),
+            sent_bytes=tuple(r[0] for r in rows),
+            recv_bytes=tuple(r[1] for r in rows),
+            messages=tuple(r[2] for r in rows),
+            phase_bytes=phase_bytes,
+            phase_messages=phase_msgs,
+        )
+
+
+def mpi_world() -> MPIBackendComm:
+    """The COMM_WORLD-backed communicator (requires mpiexec launch)."""
+    MPI = _require_mpi()
+    return MPIBackendComm(MPI.COMM_WORLD)

@@ -1,0 +1,552 @@
+"""Thread-based SPMD runtime.
+
+Every rank of a simulated job runs the same Python function on its own
+thread, communicating exclusively through :class:`Comm`.  The design
+mirrors mpi4py's split between generic-object and buffer traffic:
+
+* ``send``/``recv`` move arbitrary Python payloads (numpy arrays are the
+  common case and are copied on send, so rank-local mutation semantics
+  match a distributed-memory machine);
+* ``Send``/``Recv`` are the buffer-protocol variants — ``Recv`` fills a
+  caller-provided numpy buffer in place, like the upper-case mpi4py calls.
+
+``send`` is buffered-asynchronous (it deposits the message into the
+destination's mailbox and returns); ``recv`` blocks until a matching
+message arrives.  A watchdog timeout converts lost-message hangs into
+:class:`DeadlockError` instead of a frozen test suite.
+
+Communicator metadata operations (``split``, ``dup``, ``barrier``) are
+implemented through an in-process rendezvous board rather than messages;
+they carry no payload bytes, matching the paper's volume accounting which
+counts only data traffic.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import threading
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.smpi.volume import VolumeLedger, VolumeReport
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_DEFAULT_TIMEOUT = 300.0
+
+
+class SmpiError(RuntimeError):
+    """Base class for simulated-MPI failures."""
+
+
+class DeadlockError(SmpiError):
+    """A rank waited longer than the watchdog timeout for a message."""
+
+
+class RankFailure(SmpiError):
+    """One or more ranks raised; carries the first underlying error."""
+
+    def __init__(self, failures: list[tuple[int, BaseException]]) -> None:
+        self.failures = failures
+        first_rank, first_exc = failures[0]
+        super().__init__(
+            f"{len(failures)} rank(s) failed; first: rank {first_rank}: "
+            f"{type(first_exc).__name__}: {first_exc}"
+        )
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size of a message payload in bytes.
+
+    numpy arrays count their buffer size (8 B per float64 element — the
+    same accounting as the paper's Table 2 models, which are "scaled by
+    the element size (8 bytes)").  Scalars count their natural width;
+    containers count the sum of their elements.  Anything exotic falls
+    back to its pickle length.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, np.generic):
+        return obj.itemsize
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float, complex)):
+        return 8 if not isinstance(obj, complex) else 16
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Copy a payload so sender-side mutation cannot leak to the receiver.
+
+    This is what makes the shared-address-space simulator behave like a
+    distributed-memory machine.
+    """
+    if obj is None or isinstance(obj, (int, float, complex, str, bytes, bool)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return np.array(obj, copy=True)
+    if isinstance(obj, np.generic):
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [_copy_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return copy.deepcopy(obj)
+
+
+class _Message:
+    __slots__ = ("context", "source", "tag", "data", "nbytes")
+
+    def __init__(
+        self, context: int, source: int, tag: int, data: Any, nbytes: int
+    ) -> None:
+        self.context = context
+        self.source = source
+        self.tag = tag
+        self.data = data
+        self.nbytes = nbytes
+
+
+class _Mailbox:
+    """Per-world-rank inbox with (context, source, tag) matching."""
+
+    def __init__(self) -> None:
+        self._pending: list[_Message] = []
+        self._cond = threading.Condition()
+
+    def deliver(self, msg: _Message) -> None:
+        with self._cond:
+            self._pending.append(msg)
+            self._cond.notify_all()
+
+    def _match(self, context: int, source: int, tag: int) -> _Message | None:
+        for i, msg in enumerate(self._pending):
+            if msg.context != context:
+                continue
+            if source != ANY_SOURCE and msg.source != source:
+                continue
+            if tag != ANY_TAG and msg.tag != tag:
+                continue
+            return self._pending.pop(i)
+        return None
+
+    def take(
+        self, context: int, source: int, tag: int, timeout: float
+    ) -> _Message:
+        with self._cond:
+            msg = self._match(context, source, tag)
+            if msg is not None:
+                return msg
+            deadline = threading.TIMEOUT_MAX if timeout <= 0 else timeout
+            remaining = deadline
+            while True:
+                if not self._cond.wait(timeout=min(remaining, 5.0)):
+                    remaining -= 5.0
+                    if remaining <= 0:
+                        raise DeadlockError(
+                            f"recv(source={source}, tag={tag}, "
+                            f"context={context}) timed out after "
+                            f"{timeout:.0f}s"
+                        )
+                msg = self._match(context, source, tag)
+                if msg is not None:
+                    return msg
+
+
+class _Rendezvous:
+    """Shared board for zero-volume collective metadata (split/barrier)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._slots: dict[Any, dict[str, Any]] = {}
+
+    def exchange(
+        self,
+        key: Any,
+        rank: int,
+        value: Any,
+        expected: int,
+        timeout: float,
+    ) -> dict[int, Any]:
+        """Deposit ``value`` under ``key`` and wait until ``expected``
+        participants arrived; return the full contribution map."""
+        with self._cond:
+            slot = self._slots.setdefault(key, {"contrib": {}, "done": 0})
+            slot["contrib"][rank] = value
+            if len(slot["contrib"]) == expected:
+                self._cond.notify_all()
+            else:
+                remaining = timeout
+                while len(slot["contrib"]) < expected:
+                    if not self._cond.wait(timeout=min(remaining, 5.0)):
+                        remaining -= 5.0
+                        if remaining <= 0:
+                            raise DeadlockError(
+                                f"rendezvous {key!r} stuck at "
+                                f"{len(slot['contrib'])}/{expected}"
+                            )
+            contrib = dict(slot["contrib"])
+            slot["done"] += 1
+            if slot["done"] == expected:
+                # Last one out cleans up so the key can be reused.
+                del self._slots[key]
+            return contrib
+
+
+class _Context:
+    """State shared by every rank of one SPMD run."""
+
+    def __init__(self, nranks: int, timeout: float) -> None:
+        self.nranks = nranks
+        self.timeout = timeout
+        self.mailboxes = [_Mailbox() for _ in range(nranks)]
+        self.ledger = VolumeLedger(nranks)
+        self.rendezvous = _Rendezvous()
+        self._next_context = 1  # 0 is COMM_WORLD
+        self._ctx_lock = threading.Lock()
+
+    def allocate_contexts(self, count: int) -> int:
+        """Reserve ``count`` consecutive context ids; return the first."""
+        with self._ctx_lock:
+            first = self._next_context
+            self._next_context += count
+            return first
+
+
+class _PhaseScope:
+    def __init__(self, comm: "Comm", name: str | None) -> None:
+        self._comm = comm
+        self._name = name
+        self._prev: str | None = None
+
+    def __enter__(self) -> "Comm":
+        ledger = self._comm._ctx.ledger
+        self._prev = ledger.current_phase(self._comm._world_rank)
+        ledger.set_phase(self._comm._world_rank, self._name)
+        return self._comm
+
+    def __exit__(self, *exc: Any) -> None:
+        self._comm._ctx.ledger.set_phase(self._comm._world_rank, self._prev)
+
+
+class Comm:
+    """A communicator: an ordered group of ranks sharing a message context.
+
+    The world communicator is handed to the rank function by
+    :func:`run_spmd`; sub-communicators come from :meth:`split` (the
+    analogue of ``MPI_Comm_split``) and address peers by *group-local*
+    rank, exactly like MPI.
+    """
+
+    def __init__(
+        self,
+        ctx: _Context,
+        context_id: int,
+        group: Sequence[int],
+        world_rank: int,
+    ) -> None:
+        self._ctx = ctx
+        self._context_id = context_id
+        self._group = tuple(group)
+        self._world_rank = world_rank
+        self._rank = self._group.index(world_rank)
+        self._meta_counter = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator's group."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self._group)
+
+    @property
+    def world_rank(self) -> int:
+        """Rank in the world communicator (useful for debugging)."""
+        return self._world_rank
+
+    @property
+    def group(self) -> tuple[int, ...]:
+        """World ranks of the group, in group order."""
+        return self._group
+
+    @property
+    def ledger(self) -> VolumeLedger:
+        return self._ctx.ledger
+
+    def phase(self, name: str | None) -> _PhaseScope:
+        """Context manager attributing sent bytes to a named phase."""
+        return _PhaseScope(self, name)
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, data: Any, dest: int, tag: int = 0) -> None:
+        """Buffered asynchronous send of a generic payload."""
+        if not 0 <= dest < self.size:
+            raise ValueError(
+                f"dest {dest} out of range for communicator of size "
+                f"{self.size}"
+            )
+        nbytes = payload_nbytes(data)
+        msg = _Message(
+            self._context_id,
+            self._rank,
+            tag,
+            _copy_payload(data),
+            nbytes,
+        )
+        self._ctx.ledger.record_send(self._world_rank, nbytes)
+        self._ctx.mailboxes[self._group[dest]].deliver(msg)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        data, _, _ = self.recv_status(source, tag)
+        return data
+
+    def recv_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int]:
+        """Blocking receive; returns ``(payload, source, tag)``."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ValueError(
+                f"source {source} out of range for communicator of size "
+                f"{self.size}"
+            )
+        msg = self._ctx.mailboxes[self._world_rank].take(
+            self._context_id, source, tag, self._ctx.timeout
+        )
+        self._ctx.ledger.record_recv(self._world_rank, msg.nbytes)
+        return msg.data, msg.source, msg.tag
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer-protocol send (numpy array)."""
+        if not isinstance(buf, np.ndarray):
+            raise TypeError("Send expects a numpy array; use send() instead")
+        self.send(buf, dest, tag)
+
+    def Recv(
+        self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[int, int]:
+        """Receive into a caller-provided buffer; returns (source, tag)."""
+        data, src, rtag = self.recv_status(source, tag)
+        if not isinstance(data, np.ndarray):
+            raise TypeError(
+                f"Recv matched a non-buffer message of type {type(data)}"
+            )
+        if data.shape != buf.shape:
+            raise ValueError(
+                f"Recv buffer shape {buf.shape} != message shape {data.shape}"
+            )
+        np.copyto(buf, data)
+        return src, rtag
+
+    def sendrecv(
+        self,
+        senddata: Any,
+        dest: int,
+        source: int | None = None,
+        sendtag: int = 0,
+        recvtag: int | None = None,
+    ) -> Any:
+        """Combined exchange; safe because sends are buffered."""
+        if source is None:
+            source = dest
+        if recvtag is None:
+            recvtag = sendtag
+        self.send(senddata, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # ------------------------------------------------------------------
+    # metadata collectives (zero volume)
+    # ------------------------------------------------------------------
+    def _meta_key(self, op: str) -> tuple:
+        self._meta_counter += 1
+        return (self._context_id, op, self._meta_counter)
+
+    def barrier(self) -> None:
+        """Synchronize all ranks of this communicator (zero data volume)."""
+        self._ctx.rendezvous.exchange(
+            self._meta_key("barrier"),
+            self._rank,
+            None,
+            self.size,
+            self._ctx.timeout,
+        )
+
+    def split(self, color: int | None, key: int | None = None) -> "Comm | None":
+        """Partition the communicator by ``color``; order groups by
+        ``(key, rank)``.  Ranks passing ``color=None`` get ``None`` back
+        (the MPI_UNDEFINED idiom used to disable ranks — the paper's
+        Processor Grid Optimization relies on this)."""
+        if key is None:
+            key = self._rank
+        contrib = self._ctx.rendezvous.exchange(
+            self._meta_key("split"),
+            self._rank,
+            (color, key),
+            self.size,
+            self._ctx.timeout,
+        )
+        colors = sorted(
+            {c for c, _ in contrib.values() if c is not None}
+        )
+        if not colors:
+            return None
+        # Deterministic context allocation: rank 0 of the parent group
+        # reserves one context per color and shares the base id, so every
+        # member (including color=None ranks) computes identical ids.
+        first_ctx = self._shared_context_base(len(colors))
+        my_color, _ = contrib[self._rank]
+        if my_color is None:
+            return None
+        color_index = colors.index(my_color)
+        members = sorted(
+            (k, r) for r, (c, k) in contrib.items() if c == my_color
+        )
+        group = tuple(self._group[r] for _, r in members)
+        return Comm(
+            self._ctx, first_ctx + color_index, group, self._world_rank
+        )
+
+    def _shared_context_base(self, count: int) -> int:
+        """All group members must obtain the *same* base id; rank 0
+        allocates and shares it through the rendezvous board."""
+        key = self._meta_key("ctxbase")
+        value = None
+        if self._rank == 0:
+            value = self._ctx.allocate_contexts(count)
+        contrib = self._ctx.rendezvous.exchange(
+            key, self._rank, value, self.size, self._ctx.timeout
+        )
+        return contrib[0]
+
+    def dup(self) -> "Comm":
+        """Duplicate the communicator with a fresh context."""
+        base = self._shared_context_base(1)
+        return Comm(self._ctx, base, self._group, self._world_rank)
+
+    # ------------------------------------------------------------------
+    # data collectives — implemented in collectives.py, re-exported as
+    # methods for mpi4py-flavoured call sites.
+    # ------------------------------------------------------------------
+    def bcast(self, data: Any, root: int = 0) -> Any:
+        from repro.smpi import collectives
+
+        return collectives.bcast(self, data, root)
+
+    def reduce(
+        self,
+        data: Any,
+        root: int = 0,
+        op: Callable[[Any, Any], Any] | None = None,
+    ) -> Any:
+        from repro.smpi import collectives
+
+        return collectives.reduce(self, data, root, op)
+
+    def allreduce(
+        self, data: Any, op: Callable[[Any, Any], Any] | None = None
+    ) -> Any:
+        from repro.smpi import collectives
+
+        return collectives.allreduce(self, data, op)
+
+    def gather(self, data: Any, root: int = 0) -> list[Any] | None:
+        from repro.smpi import collectives
+
+        return collectives.gather(self, data, root)
+
+    def allgather(self, data: Any) -> list[Any]:
+        from repro.smpi import collectives
+
+        return collectives.allgather(self, data)
+
+    def scatter(self, chunks: Sequence[Any] | None, root: int = 0) -> Any:
+        from repro.smpi import collectives
+
+        return collectives.scatter(self, chunks, root)
+
+    def alltoall(self, chunks: Sequence[Any]) -> list[Any]:
+        from repro.smpi import collectives
+
+        return collectives.alltoall(self, chunks)
+
+    def reduce_scatter(
+        self,
+        chunks: Sequence[Any],
+        op: Callable[[Any, Any], Any] | None = None,
+    ) -> Any:
+        from repro.smpi import collectives
+
+        return collectives.reduce_scatter(self, chunks, op)
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = _DEFAULT_TIMEOUT,
+    return_report: bool = True,
+) -> tuple[list[Any], VolumeReport]:
+    """Run ``fn(comm, *args)`` on ``nranks`` threads.
+
+    Returns ``(results, volume_report)`` where ``results[r]`` is rank r's
+    return value.  If any rank raises, a :class:`RankFailure` carrying
+    every failure is raised after all threads have stopped.
+    """
+    if nranks <= 0:
+        raise ValueError(f"nranks must be positive, got {nranks}")
+    ctx = _Context(nranks, timeout)
+    results: list[Any] = [None] * nranks
+    failures: list[tuple[int, BaseException]] = []
+    failures_lock = threading.Lock()
+
+    def _worker(rank: int) -> None:
+        comm = Comm(ctx, 0, tuple(range(nranks)), rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with failures_lock:
+                failures.append((rank, exc))
+            # Wake everyone so peers blocked on this rank fail fast via
+            # their own timeouts rather than hanging for the full window.
+            for mb in ctx.mailboxes:
+                with mb._cond:
+                    mb._cond.notify_all()
+
+    threads = [
+        threading.Thread(target=_worker, args=(r,), daemon=True, name=f"rank{r}")
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if failures:
+        failures.sort(key=lambda f: f[0])
+        raise RankFailure(failures)
+    return results, ctx.ledger.snapshot()

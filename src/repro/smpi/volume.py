@@ -1,0 +1,159 @@
+"""Communication-volume accounting.
+
+The paper's evaluation metric is the aggregate number of bytes sent over
+the network, captured with the Score-P instrumentation library.  The
+:class:`VolumeLedger` reproduces those counters for the simulated runtime:
+per-rank sent/received bytes and message counts, optionally attributed to
+named *phases* (e.g. ``"tournament"``, ``"scatter_A10"``) so benchmarks
+can break a run down by algorithm step, as Lemma 10 does analytically.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VolumeReport:
+    """Immutable snapshot of a finished run's communication volume.
+
+    Attributes
+    ----------
+    nranks:
+        Number of ranks that participated.
+    sent_bytes:
+        Tuple of bytes sent, indexed by rank.
+    recv_bytes:
+        Tuple of bytes received, indexed by rank.
+    messages:
+        Tuple of message counts (sends), indexed by rank.
+    phase_bytes:
+        Mapping ``phase name -> total bytes sent`` across all ranks.
+    """
+
+    nranks: int
+    sent_bytes: tuple[int, ...]
+    recv_bytes: tuple[int, ...]
+    messages: tuple[int, ...]
+    phase_bytes: dict[str, int] = field(default_factory=dict)
+    phase_messages: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate bytes sent over the (simulated) network."""
+        return sum(self.sent_bytes)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages)
+
+    @property
+    def max_rank_bytes(self) -> int:
+        """Largest per-rank sent volume — the critical-path proxy."""
+        return max(self.sent_bytes) if self.sent_bytes else 0
+
+    @property
+    def per_rank_bytes(self) -> float:
+        """Average bytes sent per rank ("communication volume per node")."""
+        return self.total_bytes / self.nranks if self.nranks else 0.0
+
+    @property
+    def total_gb(self) -> float:
+        """Total volume in decimal gigabytes, as reported in Table 2."""
+        return self.total_bytes / 1e9
+
+    def per_rank_gb(self) -> float:
+        return self.per_rank_bytes / 1e9
+
+    def phase_fraction(self, phase: str) -> float:
+        """Fraction of total traffic attributed to ``phase``."""
+        total = self.total_bytes
+        if total == 0:
+            return 0.0
+        return self.phase_bytes.get(phase, 0) / total
+
+    def describe(self) -> str:
+        lines = [
+            f"ranks={self.nranks} total={self.total_bytes:,} B "
+            f"({self.total_gb:.6f} GB) messages={self.total_messages:,}",
+            f"per-rank avg={self.per_rank_bytes:,.1f} B "
+            f"max={self.max_rank_bytes:,} B",
+        ]
+        for phase, nbytes in sorted(
+            self.phase_bytes.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  phase {phase:<24} {nbytes:,} B")
+        return "\n".join(lines)
+
+
+class VolumeLedger:
+    """Thread-safe per-rank byte counters.
+
+    A single ledger is shared by all ranks of one SPMD run.  Sends are
+    counted at the sender (this matches Score-P's "bytes sent" metric the
+    paper aggregates); receives are tracked as a cross-check — in a closed
+    system total sent must equal total received, and the test suite
+    asserts this invariant.
+    """
+
+    def __init__(self, nranks: int) -> None:
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self._sent = [0] * nranks
+        self._recv = [0] * nranks
+        self._msgs = [0] * nranks
+        self._phase_bytes: dict[str, int] = {}
+        self._phase_msgs: dict[str, int] = {}
+        self._phase_by_rank: list[str | None] = [None] * nranks
+        self._lock = threading.Lock()
+
+    def set_phase(self, rank: int, phase: str | None) -> None:
+        """Attribute subsequent sends *from this rank* to ``phase``."""
+        self._phase_by_rank[rank] = phase
+
+    def current_phase(self, rank: int) -> str | None:
+        return self._phase_by_rank[rank]
+
+    def record_send(self, rank: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        with self._lock:
+            self._sent[rank] += nbytes
+            self._msgs[rank] += 1
+            phase = self._phase_by_rank[rank]
+            if phase is not None:
+                self._phase_bytes[phase] = (
+                    self._phase_bytes.get(phase, 0) + nbytes
+                )
+                self._phase_msgs[phase] = self._phase_msgs.get(phase, 0) + 1
+
+    def record_recv(self, rank: int, nbytes: int) -> None:
+        with self._lock:
+            self._recv[rank] += nbytes
+
+    def sent(self, rank: int) -> int:
+        return self._sent[rank]
+
+    def received(self, rank: int) -> int:
+        return self._recv[rank]
+
+    def snapshot(self) -> VolumeReport:
+        with self._lock:
+            return VolumeReport(
+                nranks=self.nranks,
+                sent_bytes=tuple(self._sent),
+                recv_bytes=tuple(self._recv),
+                messages=tuple(self._msgs),
+                phase_bytes=dict(self._phase_bytes),
+                phase_messages=dict(self._phase_msgs),
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._sent = [0] * self.nranks
+            self._recv = [0] * self.nranks
+            self._msgs = [0] * self.nranks
+            self._phase_bytes.clear()
+            self._phase_msgs.clear()

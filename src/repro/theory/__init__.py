@@ -1,0 +1,78 @@
+"""The paper's general I/O lower-bound machinery (Sections 2-6).
+
+This package implements the DAAP program abstraction and the
+X-Partitioning-based lower-bound derivation pipeline:
+
+1. :mod:`repro.theory.daap` — model a program as statements with access
+   function vectors inside loop nests (Section 2.2), including the canned
+   programs used throughout the paper (LU, MMM, the Section 4 examples).
+2. :mod:`repro.theory.gp` — solve the "volume vs. surface" optimization
+   problem of Eq. (3): maximize the subcomputation size ``prod |R_t|``
+   subject to the dominator constraint ``sum_j prod |R_k| <= X`` (a
+   geometric program, convex after a log transform).
+3. :mod:`repro.theory.intensity` — turn psi(X) into the computational
+   intensity rho = psi(X0) / (X0 - M) via Lemma 2, with the Lemma 6
+   out-degree-one override.
+4. :mod:`repro.theory.reuse` — inter-statement data-reuse corrections:
+   input reuse (Lemma 7) and output reuse (Lemma 8 / Corollary 1).
+5. :mod:`repro.theory.bounds` — end-to-end sequential and parallel
+   (Lemma 9) bounds for whole programs, including the paper's LU result
+   Q >= (2N^3 - 6N^2 + 4N) / (3 sqrt(M)) + N(N-1)/2.
+"""
+
+from repro.theory.daap import (
+    Access,
+    Statement,
+    Program,
+    lu_program,
+    mmm_program,
+    matmul_like_pair_program,
+    modified_mmm_program,
+    cholesky_program,
+    tensor_contraction_program,
+)
+from repro.theory.gp import maximize_subcomputation, GPSolution
+from repro.theory.intensity import (
+    StatementBound,
+    statement_bound,
+    psi_of_x,
+)
+from repro.theory.reuse import (
+    input_reuse_bound,
+    output_reuse_access_size,
+    program_lower_bound,
+)
+from repro.theory.bounds import (
+    lu_io_lower_bound,
+    lu_parallel_lower_bound,
+    mmm_io_lower_bound,
+    mmm_parallel_lower_bound,
+    cholesky_io_lower_bound,
+    conflux_io_cost,
+)
+
+__all__ = [
+    "Access",
+    "GPSolution",
+    "Program",
+    "Statement",
+    "StatementBound",
+    "cholesky_io_lower_bound",
+    "cholesky_program",
+    "conflux_io_cost",
+    "input_reuse_bound",
+    "lu_io_lower_bound",
+    "lu_parallel_lower_bound",
+    "lu_program",
+    "matmul_like_pair_program",
+    "maximize_subcomputation",
+    "mmm_io_lower_bound",
+    "mmm_parallel_lower_bound",
+    "mmm_program",
+    "modified_mmm_program",
+    "output_reuse_access_size",
+    "program_lower_bound",
+    "psi_of_x",
+    "statement_bound",
+    "tensor_contraction_program",
+]

@@ -1,0 +1,239 @@
+"""Inter-statement data reuse (paper Section 4).
+
+Two mechanisms can make a multi-statement program cheaper than the sum
+of its per-statement bounds:
+
+* **Input overlap** (Case I, Lemma 7): statements S and T read the same
+  array A_i.  The combined bound only loses the shareable loads::
+
+      Q_tot >= Q_S + Q_T - Reuse(A_i),
+      Reuse(A_i) = min(|A_i(R_S)|, |A_i(R_T)|)
+
+  with per-schedule totals estimated by Eq. (6):
+  ``|A_i(R_max(X0))| * |V| / |V_max|``.
+
+* **Output overlap** (Case II, Lemma 8 / Corollary 1): S's output feeds
+  T.  The consumer's dominator no longer needs the full access set —
+  ``1/rho_S`` of it suffices, because each loaded vertex lets the
+  producer recompute up to rho_S values.  When ``rho_S <= 1``
+  recomputation never pays off and nothing changes (the paper makes this
+  point for LU's S1 -> S2 edge).
+
+``program_lower_bound`` composes both corrections over a whole
+:class:`~repro.theory.daap.Program`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.theory.daap import Program, Statement
+from repro.theory.intensity import StatementBound, statement_bound
+
+
+@dataclass(frozen=True)
+class ReuseTerm:
+    """One subtracted input-overlap term of Lemma 7."""
+
+    array: str
+    statements: tuple[str, ...]
+    reuse: float
+
+
+@dataclass(frozen=True)
+class ProgramBound:
+    """End-to-end sequential I/O lower bound of a DAAP program.
+
+    ``q_total = sum(per_statement) - sum(reuse_terms)`` (Lemma 7), where
+    per-statement bounds already include any output-reuse dominator
+    rescaling (Corollary 1).
+    """
+
+    program_name: str
+    n: int
+    m: float
+    per_statement: dict[str, float]
+    statement_bounds: dict[str, StatementBound]
+    reuse_terms: tuple[ReuseTerm, ...] = field(default_factory=tuple)
+
+    @property
+    def q_total(self) -> float:
+        total = sum(self.per_statement.values())
+        total -= sum(t.reuse for t in self.reuse_terms)
+        return max(total, 0.0)
+
+    def q_parallel(self, p: int) -> float:
+        """Lemma 9: at least one processor computes |V|/P vertices."""
+        if p <= 0:
+            raise ValueError(f"P must be positive, got {p}")
+        return self.q_total / p
+
+
+def input_reuse_bound(
+    array: str,
+    bounds: list[tuple[StatementBound, Statement, int]],
+) -> float:
+    """Eq. (6): upper bound on loads of ``array`` shareable among
+    statements.
+
+    Each entry supplies the statement's bound (with X0 solution), the
+    statement itself, and the problem size n.  The reuse is the *minimum*
+    over statements of ``|A_i(R_max)| * |V_S| / |V_max|``.
+    """
+    estimates: list[float] = []
+    for sb, stmt, n in bounds:
+        if sb.solution is None:
+            # X0 at infinity (streaming statement): the optimal schedule
+            # is one giant subcomputation; every access can be shared.
+            estimates.append(stmt.vertex_count(n))
+            continue
+        idx = None
+        for j, acc in enumerate(stmt.inputs):
+            if acc.array == array:
+                idx = j
+                break
+        if idx is None:
+            raise KeyError(
+                f"statement {stmt.name} does not read array {array!r}"
+            )
+        access_at_opt = sb.solution.access_sizes[idx]
+        subcomputations = stmt.vertex_count(n) / sb.solution.psi
+        estimates.append(access_at_opt * subcomputations)
+    return min(estimates)
+
+
+def output_reuse_access_size(
+    consumer: Statement,
+    producer_rho: float,
+    array: str,
+    producer_output_index: tuple[str, ...] | None = None,
+) -> tuple[float, ...]:
+    """Corollary 1 as GP access weights for the consumer statement.
+
+    Returns one multiplicative weight per consumer input access; the
+    access fed by the producer is scaled by ``1/max(rho_producer, 1)``
+    (recomputation only helps when the producer can regenerate more than
+    one value per load).  An infinite producer intensity zeroes the term
+    — the operand is free to recompute (Section 4.2's example).
+
+    Access matching prefers an exact index-tuple match against the
+    producer's output access (LU: S1 writes A[i,k], S2 reads A[i,k]);
+    otherwise the first input on the same array is used (Section 4.2:
+    S writes A[i,j], T reads A[i,k] — same array, relabeled iteration
+    space).
+    """
+    weights = [1.0] * len(consumer.inputs)
+    target = None
+    if producer_output_index is not None:
+        for j, acc in enumerate(consumer.inputs):
+            if acc.array == array and acc.index == producer_output_index:
+                target = j
+                break
+    if target is None:
+        for j, acc in enumerate(consumer.inputs):
+            if acc.array == array:
+                target = j
+                break
+    if target is None:
+        raise KeyError(
+            f"consumer {consumer.name} does not read array {array!r}"
+        )
+    if math.isinf(producer_rho):
+        weights[target] = 0.0
+    else:
+        weights[target] = 1.0 / max(producer_rho, 1.0)
+    return tuple(weights)
+
+
+def _drop_zero_weight_accesses(
+    stmt: Statement, weights: tuple[float, ...]
+) -> tuple[tuple[tuple[str, ...], ...], tuple[float, ...]]:
+    """Remove zero-weight accesses (log-space GP cannot carry them)."""
+    sets: list[tuple[str, ...]] = []
+    kept: list[float] = []
+    for acc, w in zip(stmt.inputs, weights):
+        if w > 0.0:
+            sets.append(acc.variables)
+            kept.append(w)
+    return tuple(sets), tuple(kept)
+
+
+def program_lower_bound(program: Program, n: int, m: float) -> ProgramBound:
+    """Full Section 4 composition for a program at size ``n``, memory ``m``.
+
+    1. Bound every statement alone (Lemma 2), applying Corollary 1
+       weights wherever a producer feeds it.
+    2. Subtract Lemma 7 input-overlap reuse for declared shared arrays.
+    """
+    # Pass 1: plain bounds (needed for producer intensities).
+    plain: dict[str, StatementBound] = {
+        s.name: statement_bound(s, m) for s in program.statements
+    }
+
+    # Pass 2: re-derive consumers with output-reuse weights.
+    final: dict[str, StatementBound] = dict(plain)
+    for producer_name, consumer_name, array in program.producer_consumer:
+        producer = program.statement(producer_name)
+        consumer = program.statement(consumer_name)
+        rho_producer = plain[producer_name].rho
+        weights = output_reuse_access_size(
+            consumer, rho_producer, array, producer.output.index
+        )
+        if all(w == 1.0 for w in weights):
+            continue  # rho_producer <= 1: no change (the LU case)
+        sets, kept = _drop_zero_weight_accesses(consumer, weights)
+        covered = set().union(*(set(s) for s in sets)) if sets else set()
+        if sets and not set(consumer.loop_vars) <= covered:
+            # A loop variable lost all surface terms: psi is unbounded in
+            # that direction, so the only universally valid bound is 0.
+            sets = ()
+        if not sets:
+            # Every operand recomputable: consumer bound collapses to 0.
+            final[consumer_name] = StatementBound(
+                statement_name=consumer_name,
+                x0=math.inf,
+                rho=math.inf,
+                rho_gp=math.inf,
+                lemma6_applied=False,
+                solution=None,
+                vertex_count=consumer.vertex_count,
+            )
+            continue
+        pruned = Statement(
+            name=consumer.name,
+            loop_vars=consumer.loop_vars,
+            output=consumer.output,
+            inputs=tuple(
+                acc
+                for acc, w in zip(consumer.inputs, weights)
+                if w > 0.0
+            ),
+            vertex_count=consumer.vertex_count,
+            out_degree_one_inputs=consumer.out_degree_one_inputs,
+        )
+        final[consumer_name] = statement_bound(
+            pruned, m, access_weights=kept
+        )
+
+    per_statement = {
+        name: sb.q_lower(n) for name, sb in final.items()
+    }
+
+    # Pass 3: input-overlap subtractions.
+    terms: list[ReuseTerm] = []
+    for array, stmt_names in program.shared_inputs:
+        entries = [
+            (final[name], program.statement(name), n) for name in stmt_names
+        ]
+        reuse = input_reuse_bound(array, entries)
+        terms.append(ReuseTerm(array=array, statements=stmt_names, reuse=reuse))
+
+    return ProgramBound(
+        program_name=program.name,
+        n=n,
+        m=m,
+        per_statement=per_statement,
+        statement_bounds=final,
+        reuse_terms=tuple(terms),
+    )

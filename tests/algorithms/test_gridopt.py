@@ -1,0 +1,106 @@
+"""Tests for Processor Grid Optimization (paper Section 8)."""
+
+import pytest
+
+from repro.algorithms.gridopt import (
+    GridChoice,
+    choose_grid_2d,
+    optimize_grid_25d,
+)
+
+
+class TestChooseGrid2D:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(1, (1, 1)), (4, (2, 2)), (6, (2, 3)), (12, (3, 4)), (16, (4, 4)),
+         (64, (8, 8))],
+    )
+    def test_nearly_square(self, p, expected):
+        assert choose_grid_2d(p) == expected
+
+    def test_prime_p_degenerates(self):
+        """Greedy 2D grids go pathological on prime rank counts — the
+        Figure 6a outliers."""
+        assert choose_grid_2d(13) == (1, 13)
+
+    def test_prefer_tall(self):
+        assert choose_grid_2d(12, prefer_tall=True) == (4, 3)
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            choose_grid_2d(0)
+
+
+class TestOptimizeGrid25D:
+    def test_uses_all_ranks_when_perfect(self):
+        choice = optimize_grid_25d(64, 4096)
+        assert choice.active_ranks <= 64
+        assert choice.grid_rows**2 * choice.layers == choice.active_ranks
+
+    def test_max_replication_when_memory_allows(self):
+        """With no memory cap the optimizer replicates aggressively
+        (c ~ P^(1/3) at the model's optimum)."""
+        choice = optimize_grid_25d(64, 4096)
+        assert choice.layers >= 2
+
+    def test_memory_cap_limits_replication(self):
+        n, p = 4096, 64
+        # allow only the unreplicated layout: m_max = N^2/ (P) * 1
+        tight = optimize_grid_25d(p, n, m_max=n * n / p)
+        loose = optimize_grid_25d(p, n, m_max=64 * n * n / p)
+        assert tight.modeled_per_rank_bytes >= loose.modeled_per_rank_bytes
+        # memory per rank is N^2/G^2 <= m_max
+        assert n * n / tight.grid_rows**2 <= n * n / p * (1 + 1e-9)
+
+    def test_awkward_p_disables_ranks(self):
+        """P = 13 (prime): no square grid uses all ranks; the optimizer
+        must disable some rather than degenerate."""
+        choice = optimize_grid_25d(13, 1024)
+        assert choice.active_ranks < 13
+        assert choice.disabled_ranks >= 1
+        assert choice.disabled_fraction < 1.0
+
+    def test_use_all_ranks_restricts_search(self):
+        choice = optimize_grid_25d(8, 1024, use_all_ranks=True)
+        assert choice.active_ranks == 8
+
+    def test_use_all_ranks_fails_when_impossible(self):
+        with pytest.raises(ValueError, match="no feasible"):
+            optimize_grid_25d(13, 1024, use_all_ranks=True)
+
+    def test_optimized_never_worse_than_greedy(self):
+        """The whole point of grid optimization: the free search beats
+        (or ties) the use-every-rank constraint whenever both exist."""
+        for p in (8, 16, 27, 32, 64):
+            try:
+                greedy = optimize_grid_25d(p, 2048, use_all_ranks=True)
+            except ValueError:
+                continue
+            free = optimize_grid_25d(p, 2048)
+            assert (
+                free.modeled_per_rank_bytes <= greedy.modeled_per_rank_bytes
+            )
+
+    def test_grid_choice_properties(self):
+        c = GridChoice(
+            grid_rows=2, layers=2, active_ranks=8, total_ranks=10,
+            modeled_bytes=1e6,
+        )
+        assert c.disabled_ranks == 2
+        assert c.disabled_fraction == pytest.approx(0.2)
+        assert c.modeled_per_rank_bytes == pytest.approx(1e6 / 8)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            optimize_grid_25d(0, 128)
+        with pytest.raises(ValueError):
+            optimize_grid_25d(4, 0)
+
+    def test_larger_p_never_increases_cost(self):
+        """Offering more ranks can only help (the optimizer may ignore
+        the extras)."""
+        costs = [
+            optimize_grid_25d(p, 2048).modeled_per_rank_bytes
+            for p in (4, 8, 16, 32, 64)
+        ]
+        assert all(b <= a * 1.001 for a, b in zip(costs, costs[1:]))

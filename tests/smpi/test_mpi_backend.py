@@ -1,0 +1,94 @@
+"""Tests for the optional real-MPI backend.
+
+The offline environment has no mpi4py, so the functional tests skip;
+what *is* tested everywhere: the availability probe, the unavailability
+error path, and the interface parity contract (the backend must expose
+every method the algorithms use on the simulated Comm).
+"""
+
+import inspect
+
+import pytest
+
+from repro.smpi.mpi_backend import (
+    MPIBackendComm,
+    MPIUnavailableError,
+    have_mpi4py,
+    mpi_world,
+)
+from repro.smpi.runtime import Comm
+
+HAVE_MPI = have_mpi4py()
+
+
+class TestAvailabilityHandling:
+    def test_have_mpi4py_is_bool(self):
+        assert isinstance(HAVE_MPI, bool)
+
+    @pytest.mark.skipif(HAVE_MPI, reason="mpi4py present")
+    def test_mpi_world_raises_without_mpi4py(self):
+        with pytest.raises(MPIUnavailableError, match="mpi4py"):
+            mpi_world()
+
+
+class TestInterfaceParity:
+    """Every public method the algorithms call on the simulated Comm
+    must exist on the MPI backend with a compatible signature."""
+
+    REQUIRED = [
+        "send",
+        "recv",
+        "recv_status",
+        "Send",
+        "Recv",
+        "sendrecv",
+        "barrier",
+        "split",
+        "dup",
+        "phase",
+        "bcast",
+        "reduce",
+        "allreduce",
+        "gather",
+        "allgather",
+        "scatter",
+        "alltoall",
+        "reduce_scatter",
+    ]
+
+    @pytest.mark.parametrize("name", REQUIRED)
+    def test_method_exists(self, name):
+        assert hasattr(MPIBackendComm, name)
+
+    @pytest.mark.parametrize(
+        "name", ["send", "recv", "sendrecv", "bcast", "reduce", "split"]
+    )
+    def test_signatures_match_simulator(self, name):
+        sim = inspect.signature(getattr(Comm, name))
+        mpi = inspect.signature(getattr(MPIBackendComm, name))
+        sim_params = [p for p in sim.parameters if p != "self"]
+        mpi_params = [p for p in mpi.parameters if p != "self"]
+        assert sim_params == mpi_params, (
+            f"{name}: simulator {sim_params} vs backend {mpi_params}"
+        )
+
+    def test_rank_size_properties(self):
+        assert isinstance(
+            inspect.getattr_static(MPIBackendComm, "rank"), property
+        )
+        assert isinstance(
+            inspect.getattr_static(MPIBackendComm, "size"), property
+        )
+
+
+@pytest.mark.skipif(not HAVE_MPI, reason="mpi4py not installed")
+class TestWithRealMPI:  # pragma: no cover - cluster-only
+    """Single-process MPI sanity (mpiexec multi-rank runs are manual)."""
+
+    def test_world_size_one(self):
+        comm = mpi_world()
+        assert comm.size >= 1
+        out = comm.bcast("x", root=0)
+        assert out == "x"
+        report = comm.aggregate_report()
+        assert report.nranks == comm.size

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestFactorCommand:
+    def test_conflux_default(self, capsys):
+        rc = main(["factor", "--n", "32", "--p", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conflux" in out
+        assert "residual" in out
+
+    def test_verbose_phase_breakdown(self, capsys):
+        rc = main(["factor", "--n", "32", "--p", "4", "--verbose"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "panel_a10" in out
+        assert "msgs" in out
+
+    def test_scalapack_with_block(self, capsys):
+        rc = main(
+            ["factor", "--impl", "scalapack2d", "--n", "32", "--p", "4",
+             "--nb", "8"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scalapack2d" in out
+
+    def test_cholesky_builds_spd_input(self, capsys):
+        rc = main(
+            ["factor", "--impl", "cholesky25d", "--n", "32", "--p", "4"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cholesky25d" in out
+
+    def test_conflux_explicit_v(self, capsys):
+        rc = main(["factor", "--n", "32", "--p", "4", "--v", "8"])
+        assert rc == 0
+        assert "block=8" in capsys.readouterr().out
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["factor", "--impl", "mkl"])
+
+
+class TestBoundsCommand:
+    def test_lu_bounds(self, capsys):
+        rc = main(["bounds", "--kernel", "lu", "--n", "512",
+                   "--m", "1024"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "LU I/O lower bound" in out
+        assert "S1" in out and "S2" in out
+
+    def test_parallel_bound_printed(self, capsys):
+        rc = main(["bounds", "--kernel", "mmm", "--n", "256",
+                   "--m", "1024", "--p", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "P=16" in out
+
+    def test_cholesky_bounds(self, capsys):
+        rc = main(["bounds", "--kernel", "cholesky", "--n", "256",
+                   "--m", "256"])
+        assert rc == 0
+        assert "S3" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_piz_daint_plan(self, capsys):
+        rc = main(["plan", "--machine", "piz_daint", "--n", "16384",
+                   "--p", "1024"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Piz Daint" in out
+        assert "best: conflux" in out
+
+    def test_summit_full_machine_default_p(self, capsys):
+        rc = main(["plan", "--machine", "summit", "--n", "16384"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "P=4,608" in out
+
+
+class TestModelsCommand:
+    def test_exact_models(self, capsys):
+        rc = main(["models", "--n", "4096", "--p", "1024"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conflux" in out and "GB total" in out
+
+    def test_leading_flag(self, capsys):
+        rc = main(["models", "--n", "4096", "--p", "1024", "--leading"])
+        assert rc == 0
+        assert "leading factors" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_module_entry_point_importable(self):
+        import importlib.util
+
+        spec = importlib.util.find_spec("repro.__main__")
+        assert spec is not None

@@ -1,0 +1,150 @@
+"""Tests for the DAAP program model (paper Section 2.2)."""
+
+import pytest
+
+from repro.theory.daap import (
+    Access,
+    Program,
+    Statement,
+    cholesky_program,
+    lu_program,
+    matmul_like_pair_program,
+    mmm_program,
+    modified_mmm_program,
+)
+
+
+class TestAccess:
+    def test_distinct_variables_in_order(self):
+        acc = Access("A", ("i", "k"))
+        assert acc.variables == ("i", "k")
+        assert acc.access_dim == 2
+
+    def test_repeated_variable_collapses(self):
+        """A[k,k] has dim(A)=2 but dim(phi)=1 — Section 2.2 item 7."""
+        acc = Access("A", ("k", "k"))
+        assert acc.variables == ("k",)
+        assert acc.access_dim == 1
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(ValueError):
+            Access("A", ())
+
+    def test_three_dimensional_access(self):
+        acc = Access("D", ("i", "j", "k"))
+        assert acc.access_dim == 3
+
+
+class TestStatement:
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError, match="not in loop_vars"):
+            Statement(
+                name="bad",
+                loop_vars=("i",),
+                output=Access("A", ("i",)),
+                inputs=(Access("B", ("z",)),),
+                vertex_count=lambda n: n,
+            )
+
+    def test_access_variable_sets_cover_inputs_only(self):
+        s = mmm_program().statements[0]
+        assert s.access_variable_sets == (("i", "j"), ("i", "k"), ("k", "j"))
+
+    def test_input_access_lookup(self):
+        s = mmm_program().statements[0]
+        assert s.input_access("B").index == ("k", "j")
+        with pytest.raises(KeyError):
+            s.input_access("Z")
+
+
+class TestLUProgram:
+    def test_statement_names(self):
+        lu = lu_program()
+        assert [s.name for s in lu.statements] == ["S1", "S2"]
+
+    def test_s1_structure_matches_figure1(self):
+        s1 = lu_program().statement("S1")
+        assert s1.output == Access("A", ("i", "k"))
+        assert s1.inputs[1] == Access("A", ("k", "k"))
+        assert s1.inputs[1].access_dim == 1
+        assert s1.out_degree_one_inputs == 1
+
+    def test_s1_vertex_count(self):
+        s1 = lu_program().statement("S1")
+        # sum_{k=1}^{N} (N - k) = N(N-1)/2
+        assert s1.vertex_count(10) == 45
+        assert s1.vertex_count(1) == 0
+
+    def test_s2_vertex_count_paper_formula(self):
+        s2 = lu_program().statement("S2")
+        n = 10
+        assert s2.vertex_count(n) == pytest.approx(
+            n**3 / 3 - n**2 + 2 * n / 3
+        )
+
+    def test_s2_vertex_count_literal_formula(self):
+        s2 = lu_program(literal_counts=True).statement("S2")
+        n = 10
+        # literal Figure 1 loop nest: sum_{k=1}^{N}(N-k)^2
+        assert s2.vertex_count(n) == sum(
+            (n - k) ** 2 for k in range(1, n + 1)
+        )
+
+    def test_producer_consumer_edge_declared(self):
+        lu = lu_program()
+        assert ("S1", "S2", "A") in lu.producer_consumer
+
+    def test_total_vertices(self):
+        lu = lu_program(literal_counts=True)
+        n = 6
+        expected = sum((n - k) for k in range(1, n + 1)) + sum(
+            (n - k) ** 2 for k in range(1, n + 1)
+        )
+        assert lu.total_vertices(n) == expected
+
+
+class TestCannedPrograms:
+    def test_mmm_single_statement(self):
+        mmm = mmm_program()
+        assert len(mmm.statements) == 1
+        assert mmm.statements[0].vertex_count(7) == 343
+
+    def test_pair_program_shares_b(self):
+        pair = matmul_like_pair_program()
+        assert pair.shared_inputs == (("B", ("S", "T")),)
+
+    def test_modified_mmm_producer_is_input_free(self):
+        mod = modified_mmm_program()
+        s = mod.statement("S")
+        assert s.recomputation_free
+        assert s.inputs == ()
+
+    def test_cholesky_three_statements(self):
+        chol = cholesky_program()
+        assert [s.name for s in chol.statements] == ["S1", "S2", "S3"]
+        # S3 vertex count ~ N^3/6
+        assert chol.statement("S3").vertex_count(100) == pytest.approx(
+            100 * 99 * 101 / 6
+        )
+
+    def test_statement_lookup_missing(self):
+        with pytest.raises(KeyError):
+            mmm_program().statement("nope")
+
+
+class TestDetectOverlaps:
+    def test_shared_input_detection(self):
+        pair = matmul_like_pair_program()
+        shared, pc = Program.detect_overlaps(pair.statements)
+        assert ("B", ("S", "T")) in shared
+        assert pc == ()
+
+    def test_producer_consumer_detection(self):
+        mod = modified_mmm_program()
+        shared, pc = Program.detect_overlaps(mod.statements)
+        assert ("S", "T", "A") in pc
+
+    def test_lu_self_dependency_detected(self):
+        lu = lu_program()
+        _, pc = Program.detect_overlaps(lu.statements)
+        assert ("S1", "S2", "A") in pc

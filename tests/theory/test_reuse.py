@@ -1,0 +1,190 @@
+"""Tests for inter-statement reuse (paper Section 4) and program bounds."""
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    cholesky_io_lower_bound,
+    lu_io_lower_bound,
+)
+from repro.theory.daap import (
+    cholesky_program,
+    lu_program,
+    matmul_like_pair_program,
+    mmm_program,
+    modified_mmm_program,
+)
+from repro.theory.intensity import statement_bound
+from repro.theory.reuse import (
+    input_reuse_bound,
+    output_reuse_access_size,
+    program_lower_bound,
+)
+
+M = 1024.0
+
+
+class TestInputReuse:
+    """Section 4.1 worked example: two products sharing matrix B."""
+
+    def test_reuse_of_b_is_n3_over_m(self):
+        pair = matmul_like_pair_program()
+        n = 256
+        entries = [
+            (statement_bound(pair.statement(x), M), pair.statement(x), n)
+            for x in ("S", "T")
+        ]
+        reuse = input_reuse_bound("B", entries)
+        assert reuse == pytest.approx(n**3 / M, rel=0.02)
+
+    def test_combined_bound_is_n3_over_m(self):
+        """Q_tot >= Q_S + Q_T - Reuse(B) = N^3/M (paper's result;
+        attainable by fusing and caching M-1 elements of B)."""
+        n = 256
+        pb = program_lower_bound(matmul_like_pair_program(), n, M)
+        assert pb.q_total == pytest.approx(n**3 / M, rel=0.05)
+
+    def test_reuse_never_exceeds_either_side(self):
+        pair = matmul_like_pair_program()
+        n = 128
+        entries = [
+            (statement_bound(pair.statement(x), M), pair.statement(x), n)
+            for x in ("S", "T")
+        ]
+        reuse = input_reuse_bound("B", entries)
+        for sb, stmt, _ in entries:
+            per_sub = sb.solution.access_sizes
+            total_accesses = max(per_sub) * stmt.vertex_count(n) / sb.solution.psi
+            assert reuse <= total_accesses * (1.0 + 1e-6)
+
+    def test_unknown_array_rejected(self):
+        pair = matmul_like_pair_program()
+        entries = [
+            (
+                statement_bound(pair.statement("S"), M),
+                pair.statement("S"),
+                64,
+            )
+        ]
+        with pytest.raises(KeyError):
+            input_reuse_bound("Z", entries)
+
+
+class TestOutputReuse:
+    """Section 4.2 worked example: recomputable twiddle factors."""
+
+    def test_infinite_producer_rho_zeroes_the_weight(self):
+        mod = modified_mmm_program()
+        weights = output_reuse_access_size(
+            mod.statement("T"), math.inf, "A"
+        )
+        # T's inputs are (C, A, B); the A weight must vanish
+        assert weights == (1.0, 0.0, 1.0)
+
+    def test_small_producer_rho_keeps_weight_at_one(self):
+        """rho_S <= 1: recomputing is never cheaper than loading (the
+        LU S1 -> S2 situation)."""
+        lu = lu_program()
+        weights = output_reuse_access_size(lu.statement("S2"), 1.0, "A",
+                                           ("i", "k"))
+        assert weights == (1.0, 1.0, 1.0)
+
+    def test_exact_index_match_preferred(self):
+        """LU S2 reads A three times; S1's output A[i,k] must map onto
+        the A[i,k] operand, not A[i,j] or A[k,j]."""
+        lu = lu_program()
+        weights = output_reuse_access_size(
+            lu.statement("S2"), 4.0, "A", ("i", "k")
+        )
+        assert weights == (1.0, 0.25, 1.0)
+
+    def test_name_fallback_when_indices_differ(self):
+        mod = modified_mmm_program()
+        weights = output_reuse_access_size(
+            mod.statement("T"), 2.0, "A", ("i", "j")
+        )
+        assert weights == (1.0, 0.5, 1.0)
+
+    def test_missing_array_rejected(self):
+        with pytest.raises(KeyError):
+            output_reuse_access_size(
+                mmm_program().statements[0], 2.0, "Z"
+            )
+
+    def test_modified_mmm_total_is_n3_over_m(self):
+        """The combined bound drops from 2N^3/sqrt(M) to N^3/M."""
+        n = 256
+        pb = program_lower_bound(modified_mmm_program(), n, M)
+        assert pb.q_total == pytest.approx(n**3 / M, rel=0.02)
+        # and it is far below what T alone would need
+        t_alone = statement_bound(
+            modified_mmm_program().statement("T"), M
+        ).q_lower(n)
+        assert pb.q_total < t_alone / 10.0
+
+
+class TestLUProgramBound:
+    """Section 6 end-to-end: the paper's LU lower bound."""
+
+    @pytest.mark.parametrize("n", [64, 128, 512])
+    def test_matches_closed_form(self, n):
+        pb = program_lower_bound(lu_program(), n, M)
+        assert pb.q_total == pytest.approx(
+            lu_io_lower_bound(n, M), rel=1e-3
+        )
+
+    def test_output_reuse_does_not_change_s2(self):
+        """rho_S1 = 1 means no dominator shrinkage for S2 — the paper
+        notes this explicitly."""
+        pb = program_lower_bound(lu_program(), 128, M)
+        s2_alone = statement_bound(
+            lu_program().statement("S2"), M
+        ).q_lower(128)
+        assert pb.per_statement["S2"] == pytest.approx(s2_alone, rel=1e-6)
+
+    def test_parallel_bound_divides_by_p(self):
+        pb = program_lower_bound(lu_program(), 128, M)
+        assert pb.q_parallel(16) == pytest.approx(pb.q_total / 16.0)
+
+    def test_parallel_bound_rejects_bad_p(self):
+        pb = program_lower_bound(lu_program(), 64, M)
+        with pytest.raises(ValueError):
+            pb.q_parallel(0)
+
+    def test_bound_positive_and_increasing_in_n(self):
+        q = [
+            program_lower_bound(lu_program(), n, M).q_total
+            for n in (64, 128, 256)
+        ]
+        assert q[0] > 0
+        assert q[0] < q[1] < q[2]
+
+
+class TestCholeskyProgramBound:
+    def test_leading_term_matches_closed_form(self):
+        n = 512
+        pb = program_lower_bound(cholesky_program(), n, M)
+        # S3 dominates; the total must sit within a few percent of the
+        # S3-only leading term plus lower-order contributions
+        assert pb.q_total >= cholesky_io_lower_bound(n, M)
+        assert pb.q_total == pytest.approx(
+            cholesky_io_lower_bound(n, M), rel=0.15
+        )
+
+    def test_cholesky_cheaper_than_lu(self):
+        """Half the flops -> about half the I/O lower bound."""
+        n = 256
+        q_chol = program_lower_bound(cholesky_program(), n, M).q_total
+        q_lu = program_lower_bound(lu_program(), n, M).q_total
+        assert q_chol < q_lu
+
+
+class TestMMMProgramBound:
+    def test_single_statement_program(self):
+        n = 128
+        pb = program_lower_bound(mmm_program(), n, M)
+        assert pb.q_total == pytest.approx(
+            2.0 * n**3 / math.sqrt(M), rel=1e-3
+        )
+        assert pb.reuse_terms == ()
