@@ -12,28 +12,20 @@ import numpy as np
 import pytest
 
 from repro.algorithms import conflux_lu
-from repro.harness import format_table
+from repro.harness import format_table, run_sweep
+from repro.harness.specs import block_size_spec
 
 
-def test_block_size_volume_sweep(benchmark, show):
+def test_block_size_volume_sweep(benchmark, show, sweep_cache):
     n, g, c = 128, 2, 2
-    p = g * g * c
 
     def run():
-        a = np.random.default_rng(3).standard_normal((n, n))
-        rows = []
-        for v in (2, 4, 8, 16, 32):
-            res = conflux_lu(a, p, grid=(g, g, c), v=v)
-            rows.append(
-                {
-                    "v": v,
-                    "steps": -(-n // v),
-                    "total_bytes": res.volume.total_bytes,
-                    "bcast_a00": res.volume.phase_bytes["bcast_a00"],
-                    "tournament": res.volume.phase_bytes["tournament"],
-                }
-            )
-        return rows
+        # one cached sweep point per blocking parameter v
+        result = run_sweep(
+            block_size_spec(n=n, g=g, c=c, v_values=(2, 4, 8, 16, 32)),
+            cache=sweep_cache,
+        )
+        return result.rows()
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     show(format_table(

@@ -9,8 +9,6 @@ this repo — it bounds how large a simulation the benches can afford).
 """
 
 import numpy as np
-import pytest
-
 from repro.harness import format_table
 from repro.smpi import run_spmd
 

@@ -8,8 +8,6 @@ awkward rank counts, in the model and in a measured run.
 """
 
 import numpy as np
-import pytest
-
 from repro.algorithms import conflux_lu
 from repro.algorithms.gridopt import optimize_grid_25d
 from repro.harness import format_table

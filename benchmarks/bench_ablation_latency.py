@@ -11,8 +11,6 @@ merge-tree + broadcast per v-wide panel (N/v rounds).
 """
 
 import numpy as np
-import pytest
-
 from repro.algorithms import conflux_lu, scalapack2d_lu
 from repro.harness import format_table
 

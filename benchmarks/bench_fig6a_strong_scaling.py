@@ -14,13 +14,14 @@ MEASURED_N = 192
 MEASURED_P = (4, 16, 64)
 
 
-def test_fig6a_measured_and_model(benchmark, show):
+def test_fig6a_measured_and_model(benchmark, show, sweep_cache):
     data = benchmark.pedantic(
         fig6a_strong_scaling,
         kwargs={
             "n": MEASURED_N,
             "p_values": MEASURED_P,
             "model_p_values": (16, 64, 256, 1024, 4096, 16384),
+            "cache": sweep_cache,
         },
         rounds=1,
         iterations=1,

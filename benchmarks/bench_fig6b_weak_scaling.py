@@ -11,13 +11,14 @@ import pytest
 from repro.harness import fig6b_weak_scaling, format_series
 
 
-def test_fig6b_weak_scaling(benchmark, show):
+def test_fig6b_weak_scaling(benchmark, show, sweep_cache):
     data = benchmark.pedantic(
         fig6b_weak_scaling,
         kwargs={
             "n0": 48,
             "p_values": (4, 8, 27),
             "model_p_values": (8, 64, 512, 4096, 32768),
+            "cache": sweep_cache,
         },
         rounds=1,
         iterations=1,

@@ -21,8 +21,8 @@ from repro.models.prediction import (
 )
 
 
-def test_fig7_reduction_heatmap(benchmark, show):
-    rows = benchmark(fig7_reduction_grid)
+def test_fig7_reduction_heatmap(benchmark, show, sweep_cache):
+    rows = benchmark(lambda: fig7_reduction_grid(cache=sweep_cache))
     show(format_table(
         rows,
         [

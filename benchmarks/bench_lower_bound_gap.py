@@ -17,10 +17,11 @@ from repro.harness import format_table, lower_bound_gap
 from repro.harness.experiments import model_gap_at_scale
 
 
-def test_measured_gap_above_bound(benchmark, show):
+def test_measured_gap_above_bound(benchmark, show, sweep_cache):
     rows = benchmark.pedantic(
         lower_bound_gap,
-        kwargs={"n_values": (64, 128, 256), "p": 16},
+        kwargs={"n_values": (64, 128, 256), "p": 16,
+                "cache": sweep_cache},
         rounds=1,
         iterations=1,
     )

@@ -8,8 +8,6 @@ asserts the theory sandwich the framework promises: for every (N, M),
 with the greedy schedule replayed through the full rule checker.
 """
 
-import pytest
-
 from repro.harness import format_table
 from repro.pebbling import greedy_schedule, lu_cdag, schedule_cost
 from repro.pebbling.builders import lu_vertex_counts

@@ -7,18 +7,16 @@ bytes its schedule prescribes, so prediction % plays the same role
 simulated runs land in the same band).
 """
 
-import pytest
-
 from repro.harness import format_table
 from repro.harness.experiments import table2_measured_rows
 
 POINTS = ((128, 16), (256, 64))
 
 
-def test_table2_measured_prediction(benchmark, show):
+def test_table2_measured_prediction(benchmark, show, sweep_cache):
     rows = benchmark.pedantic(
         table2_measured_rows,
-        kwargs={"points": POINTS},
+        kwargs={"points": POINTS, "cache": sweep_cache},
         rounds=1,
         iterations=1,
     )
@@ -47,13 +45,14 @@ def test_table2_measured_prediction(benchmark, show):
         )
 
 
-def test_conflux_measured_beats_2d_at_p64(benchmark, show):
+def test_conflux_measured_beats_2d_at_p64(benchmark, show, sweep_cache):
     """The paper's N=4096, P=64 cell has COnfLUX 5% ahead of LibSci;
     the simulated equivalent shows the same marginal win."""
 
     def run():
         return table2_measured_rows(
-            points=((256, 64),), impls=("conflux", "scalapack2d")
+            points=((256, 64),), impls=("conflux", "scalapack2d"),
+            cache=sweep_cache,
         )
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -6,11 +6,23 @@ Every benchmark regenerates one of the paper's evaluation artifacts
 communication volume (deterministic), not the wall time; timing numbers
 measure the simulator, not Piz Daint.
 
+Simulator-backed benchmarks route through the sweep engine's result
+cache (the ``sweep_cache`` fixture): the first invocation computes and
+stores each grid point, repeated invocations replay them as cache hits
+and only new points (changed N/P/seed/implementation) are recomputed.
+Set ``REPRO_SWEEP_CACHE`` to relocate the store, or delete it
+(``python -m repro sweep --clear-cache``) to force recomputation.
+The cache is keyed on parameters, not code: when changing what a
+task computes, bump its ``@task(..., schema_version=N)`` so stale
+entries stop replaying (DESIGN.md's cache key scheme).
+
 Run with: pytest benchmarks/ --benchmark-only -s
 (-s shows the paper-style tables each benchmark prints).
 """
 
 import pytest
+
+from repro.harness.cache import SweepCache, default_cache_dir
 
 
 @pytest.fixture
@@ -21,6 +33,13 @@ def show():
         print("\n" + text)
 
     return _show
+
+
+@pytest.fixture(scope="session")
+def sweep_cache() -> SweepCache:
+    """The shared sweep result cache ($REPRO_SWEEP_CACHE or
+    ~/.cache/repro/sweeps) — the same store the CLI uses."""
+    return SweepCache(default_cache_dir())
 
 
 def pytest_collection_modifyitems(config, items):

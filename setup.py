@@ -1,10 +1,21 @@
-"""Legacy setup shim.
+"""Legacy shim for offline editable installs — no metadata here.
 
-The offline build environment lacks the ``wheel`` package, so PEP 517
-editable installs fail; this shim lets ``pip install -e .`` fall back to
-``setup.py develop``.  All metadata lives in pyproject.toml.
+All project metadata, dependencies and tool configuration live in
+pyproject.toml.  This file exists only because environments without
+the ``wheel`` package (like the offline container this repo ships in)
+cannot build PEP 660 editable wheels — pip refuses both the modern
+and the legacy path there.  Offline, either of these works::
+
+    python setup.py develop          # setuptools only, no wheel
+    PYTHONPATH=src python -m repro   # no install at all
+
+Anywhere with network access a plain ``pip install -e .`` works and
+ignores this file.
 """
 
 from setuptools import setup
 
+# setuptools >= 61 reads every field (name, version, src-layout
+# package discovery) from pyproject.toml; keep this call bare so
+# there is exactly one source of truth.
 setup()

@@ -420,7 +420,6 @@ class _ConfluxRank:
                     if not sel.any():
                         continue
                     cols = all_trailing[sel]
-                    lidx = self.col_g2l[cols]
                     # map local col ids to positions within my_trail_cols
                     trail_pos = np.searchsorted(my_trail_cols, cols)
                     vals = pivot_true[:, trail_pos]

@@ -7,6 +7,8 @@ factor   factor a random matrix with any implementation, report
 bounds   print the I/O lower bound of a kernel (lu / mmm / cholesky)
 plan     Processor Grid Optimization + model predictions for a machine
 models   evaluate the Table 2 models at one (N, P)
+sweep    run the paper's experiment grids through the parallel sweep
+         engine (list / run / resume / show-cache / clear-cache)
 """
 
 from __future__ import annotations
@@ -111,6 +113,97 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_row_columns(rows: list[dict]) -> list[tuple[str, str]]:
+    """Column order for sweep output: identity axes first, then the
+    headline metrics, in first-row key order."""
+    lead = ("impl", "n", "p", "v")
+    skip = {"phase_bytes"}
+    keys: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in keys and key not in skip:
+                keys.append(key)
+    keys.sort(
+        key=lambda k: lead.index(k) if k in lead else len(lead)
+    )
+    return [(k, k) for k in keys]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.cache import SweepCache, default_cache_dir
+    from repro.harness.reporting import format_table
+    from repro.harness.specs import SPECS, named_spec
+    from repro.harness.sweep import run_sweep
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    cache = None if args.no_cache else SweepCache(cache_dir)
+
+    if args.list:
+        print(f"{'name':<22} {'points':>6}  description")
+        for name in sorted(SPECS):
+            spec = named_spec(name)
+            print(f"{name:<22} {len(spec.points()):>6}  "
+                  f"{spec.description}")
+        return 0
+
+    if args.show_cache:
+        stats = SweepCache(cache_dir).stats()
+        print(f"cache: {stats['root']}")
+        print(f"entries: {stats['entries']}")
+        for name, count in sorted(stats["by_task"].items()):
+            print(f"  {name:<18} {count:>6}")
+        print(f"compute seconds cached: "
+              f"{stats['compute_seconds_saved']:.2f}")
+        return 0
+
+    if args.clear_cache:
+        removed = SweepCache(cache_dir).clear()
+        print(f"removed {removed} entries from {cache_dir}")
+        return 0
+
+    name = args.run or args.resume
+    if not name:
+        print("nothing to do: pass --run NAME, --resume NAME, --list, "
+              "--show-cache or --clear-cache", file=sys.stderr)
+        return 2
+
+    try:
+        spec = named_spec(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    def progress(res) -> None:
+        if args.verbose:
+            origin = "cache" if res.from_cache else f"{res.elapsed_s:.2f}s"
+            note = f"  [{res.error}]" if res.error else ""
+            print(f"  {res.status:<7} {res.point.label()} "
+                  f"({origin}){note}")
+
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        cache=cache,
+        max_points=args.max_points,
+        force=args.force,
+        progress=progress if args.verbose else None,
+    )
+    rows = result.rows(strict=False)
+    if rows:
+        print(format_table(
+            rows,
+            _sweep_row_columns(rows),
+            title=f"sweep {name}: {spec.description}",
+        ))
+    for failure in result.failures():
+        print(f"FAILED {failure.point.label()}: {failure.error}",
+              file=sys.stderr)
+    print(result.summary())
+    if cache is not None:
+        print(f"cache: {cache.root}")
+    return 1 if result.n_failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -152,6 +245,37 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--leading", action="store_true",
                    help="leading factors only (figure convention)")
     m.set_defaults(fn=_cmd_models)
+
+    s = sub.add_parser(
+        "sweep",
+        help="run experiment grids through the parallel sweep engine",
+    )
+    action = s.add_mutually_exclusive_group()
+    action.add_argument("--list", action="store_true",
+                        help="list the named sweeps and their sizes")
+    action.add_argument("--run", metavar="NAME",
+                        help="execute a named sweep")
+    action.add_argument("--resume", metavar="NAME",
+                        help="alias of --run: cached points are skipped, "
+                             "failed/missing ones re-executed")
+    action.add_argument("--show-cache", action="store_true",
+                        help="summarise the result cache")
+    action.add_argument("--clear-cache", action="store_true",
+                        help="delete every cached result")
+    s.add_argument("--workers", type=int, default=4,
+                   help="worker processes (<=1 runs inline; default 4)")
+    s.add_argument("--max-points", type=int, default=None,
+                   help="truncate the grid (CI smoke runs)")
+    s.add_argument("--force", action="store_true",
+                   help="recompute even on cache hits")
+    s.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_SWEEP_CACHE "
+                        "or ~/.cache/repro/sweeps)")
+    s.add_argument("--no-cache", action="store_true",
+                   help="run without reading or writing the cache")
+    s.add_argument("-v", "--verbose", action="store_true",
+                   dest="verbose", help="per-point progress lines")
+    s.set_defaults(fn=_cmd_sweep)
     return parser
 
 

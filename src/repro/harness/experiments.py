@@ -1,33 +1,55 @@
 """Canned experiment definitions — one per paper table/figure.
 
-Each function returns plain data (lists of dicts) so benchmarks can both
-print paper-style rows and assert shape properties.  Paper-scale numbers
-come from the Table 2 models; measured numbers from simulator runs at
-reduced (N, P) — the substitution DESIGN.md documents.
+Each public function keeps its original signature and plain-data return
+shape (lists of dicts) but is now a thin adapter over the sweep engine:
+it builds the matching :class:`~repro.harness.sweep.SweepSpec` (from
+:mod:`repro.harness.specs`), executes it with :func:`run_sweep`, and
+reshapes the rows.  That buys every caller the engine's semantics for
+free — pass ``cache=SweepCache(...)`` to skip previously computed
+points (the benchmark suite does) and ``workers=N`` to fan a grid out
+over a process pool.  The defaults (no cache, inline execution) match
+the pre-engine behaviour exactly, including raising on a failed point.
+
+Paper-scale numbers come from the Table 2 models; measured numbers from
+simulator runs at reduced (N, P) — the substitution DESIGN.md documents.
 """
 
 from __future__ import annotations
 
-import math
 from collections.abc import Sequence
 
-from repro.harness.runner import IMPLEMENTATION_NAMES, run_experiment
+from repro.harness.cache import SweepCache
+from repro.harness.runner import IMPLEMENTATION_NAMES
+from repro.harness.specs import (
+    TABLE2_PAPER_POINTS,
+    fig6a_measured_spec,
+    fig6a_model_spec,
+    fig6b_measured_spec,
+    fig6b_model_spec,
+    fig7_spec,
+    lower_bound_gap_spec,
+    table2_measured_spec,
+    table2_models_spec,
+)
+from repro.harness.sweep import run_sweep
 from repro.models.prediction import (
     algorithmic_memory,
-    choose_c_max_replication,
     reduction_vs_second_best,
-    sweep_models,
-    weak_scaling_n,
 )
 from repro.theory.bounds import lu_parallel_lower_bound_leading
 
-#: The paper's Table 2 cells.
-TABLE2_PAPER_POINTS = (
-    (4096, 64),
-    (4096, 1024),
-    (16384, 64),
-    (16384, 1024),
-)
+__all__ = [
+    "TABLE2_PAPER_GB",
+    "TABLE2_PAPER_POINTS",
+    "fig6a_strong_scaling",
+    "fig6b_weak_scaling",
+    "fig7_reduction_grid",
+    "lower_bound_gap",
+    "model_gap_at_scale",
+    "summit_prediction",
+    "table2_measured_rows",
+    "table2_model_rows",
+]
 
 #: Paper-reported Table 2 values (GB) for regression comparison:
 #: {(N, P): {impl: (measured, modeled)}}.
@@ -59,23 +81,37 @@ TABLE2_PAPER_GB = {
 }
 
 
-def table2_model_rows() -> list[dict]:
+def _tuplify_grid(row: dict) -> dict:
+    # Cached rows round-trip through JSON, which turns the grid tuple
+    # into a list; restore the historical tuple shape for callers.
+    if "grid" in row:
+        row = dict(row)
+        row["grid"] = tuple(row["grid"])
+    return row
+
+
+def table2_model_rows(
+    cache: SweepCache | None = None, workers: int = 0
+) -> list[dict]:
     """E1: evaluate our Table 2 models at the paper's exact (N, P)."""
+    result = run_sweep(
+        table2_models_spec(), cache=cache, workers=workers
+    )
     rows = []
-    for n, p in TABLE2_PAPER_POINTS:
-        volumes = sweep_models(n, p)
-        for impl, vol in volumes.items():
-            paper_meas, paper_model = TABLE2_PAPER_GB[(n, p)][impl]
-            rows.append(
-                {
-                    "n": n,
-                    "p": p,
-                    "impl": impl,
-                    "model_gb": vol / 1e9,
-                    "paper_measured_gb": paper_meas,
-                    "paper_modeled_gb": paper_model,
-                }
-            )
+    for row in result.rows():
+        paper_meas, paper_model = TABLE2_PAPER_GB[(row["n"], row["p"])][
+            row["impl"]
+        ]
+        rows.append(
+            {
+                "n": row["n"],
+                "p": row["p"],
+                "impl": row["impl"],
+                "model_gb": row["model_gb"],
+                "paper_measured_gb": paper_meas,
+                "paper_modeled_gb": paper_model,
+            }
+        )
     return rows
 
 
@@ -83,25 +119,16 @@ def table2_measured_rows(
     points: Sequence[tuple[int, int]] = ((128, 16), (256, 16)),
     impls: Sequence[str] = IMPLEMENTATION_NAMES,
     seed: int = 0,
+    cache: SweepCache | None = None,
+    workers: int = 0,
 ) -> list[dict]:
     """E2: measured (simulated) vs modeled at reduced scale."""
-    rows = []
-    for n, p in points:
-        for impl in impls:
-            rec = run_experiment(impl, n, p, seed=seed)
-            rows.append(
-                {
-                    "n": n,
-                    "p": p,
-                    "impl": impl,
-                    "measured_bytes": rec.measured_bytes,
-                    "modeled_bytes": rec.modeled_bytes,
-                    "prediction_pct": rec.prediction_pct,
-                    "residual": rec.residual,
-                    "grid": rec.grid,
-                }
-            )
-    return rows
+    result = run_sweep(
+        table2_measured_spec(points=points, impls=impls, seed=seed),
+        cache=cache,
+        workers=workers,
+    )
+    return [_tuplify_grid(row) for row in result.rows()]
 
 
 def fig6a_strong_scaling(
@@ -112,6 +139,8 @@ def fig6a_strong_scaling(
     model_n: int = 16384,
     model_p_values: Sequence[int] = (16, 64, 256, 1024, 4096, 16384),
     seed: int = 0,
+    cache: SweepCache | None = None,
+    workers: int = 0,
 ) -> dict:
     """E3: per-node communication volume vs P.
 
@@ -120,29 +149,22 @@ def fig6a_strong_scaling(
     """
     out: dict = {"measured": [], "model": []}
     if measured:
-        for p in p_values:
-            for impl in impls:
-                rec = run_experiment(impl, n, p, seed=seed)
-                out["measured"].append(
-                    {
-                        "impl": impl,
-                        "n": n,
-                        "p": p,
-                        "per_rank_bytes": rec.per_rank_bytes,
-                        "total_bytes": rec.measured_bytes,
-                    }
-                )
-    for p in model_p_values:
-        volumes = sweep_models(model_n, p)
-        for impl, vol in volumes.items():
-            out["model"].append(
-                {
-                    "impl": impl,
-                    "n": model_n,
-                    "p": p,
-                    "per_rank_bytes": vol / p,
-                }
-            )
+        result = run_sweep(
+            fig6a_measured_spec(
+                n=n, p_values=p_values, impls=impls, seed=seed
+            ),
+            cache=cache,
+            workers=workers,
+        )
+        out["measured"] = [_tuplify_grid(r) for r in result.rows()]
+    model = run_sweep(
+        fig6a_model_spec(
+            n=model_n, p_values=model_p_values, impls=impls
+        ),
+        cache=cache,
+        workers=workers,
+    )
+    out["model"] = model.rows()
     return out
 
 
@@ -154,6 +176,8 @@ def fig6b_weak_scaling(
     model_n0: int = 3200,
     model_p_values: Sequence[int] = (8, 64, 512, 4096, 32768),
     seed: int = 0,
+    cache: SweepCache | None = None,
+    workers: int = 0,
 ) -> dict:
     """E4: weak scaling N = N0 * P^(1/3) (constant work per node).
 
@@ -162,38 +186,33 @@ def fig6b_weak_scaling(
     """
     out: dict = {"measured": [], "model": []}
     if measured:
-        for p in p_values:
-            n = max(weak_scaling_n(p, n0), 16)
-            n = int(math.ceil(n / 8) * 8)  # keep blocks tidy
-            for impl in impls:
-                rec = run_experiment(impl, n, p, seed=seed)
-                out["measured"].append(
-                    {
-                        "impl": impl,
-                        "n": n,
-                        "p": p,
-                        "per_rank_bytes": rec.per_rank_bytes,
-                    }
-                )
-    for p in model_p_values:
-        n = weak_scaling_n(p, model_n0)
-        volumes = sweep_models(n, p)
-        for impl, vol in volumes.items():
-            out["model"].append(
-                {
-                    "impl": impl,
-                    "n": n,
-                    "p": p,
-                    "per_rank_bytes": vol / p,
-                }
-            )
+        result = run_sweep(
+            fig6b_measured_spec(
+                n0=n0, p_values=p_values, impls=impls, seed=seed
+            ),
+            cache=cache,
+            workers=workers,
+        )
+        out["measured"] = [_tuplify_grid(r) for r in result.rows()]
+    model = run_sweep(
+        fig6b_model_spec(
+            n0=model_n0, p_values=model_p_values, impls=impls
+        ),
+        cache=cache,
+        workers=workers,
+    )
+    out["model"] = model.rows()
     return out
 
 
 def fig7_reduction_grid(
     n_values: Sequence[int] = (4096, 8192, 16384),
-    p_values: Sequence[int] = (64, 256, 1024, 4096, 16384, 65536, 262144),
+    p_values: Sequence[int] = (
+        64, 256, 1024, 4096, 16384, 65536, 262144,
+    ),
     leading_only: bool = True,
+    cache: SweepCache | None = None,
+    workers: int = 0,
 ) -> list[dict]:
     """E5: predicted communication reduction vs the second-best
     implementation over a (P, N) grid (Figure 7's heat map).
@@ -203,22 +222,16 @@ def fig7_reduction_grid(
     exact per-step models, whose reductions saturate at very large P
     because the A00-broadcast term stops being negligible.
     """
-    rows = []
-    for n in n_values:
-        for p in p_values:
-            point = reduction_vs_second_best(n, p, leading_only=leading_only)
-            best_vol = min(point.volumes.values())
-            rows.append(
-                {
-                    "n": n,
-                    "p": p,
-                    "best": point.best,
-                    "second_best": point.second_best,
-                    "reduction": point.reduction,
-                    "conflux_vs_best": point.volumes["conflux"] / best_vol,
-                }
-            )
-    return rows
+    result = run_sweep(
+        fig7_spec(
+            n_values=n_values,
+            p_values=p_values,
+            leading_only=leading_only,
+        ),
+        cache=cache,
+        workers=workers,
+    )
+    return result.rows()
 
 
 def summit_prediction(n: int = 16384) -> dict:
@@ -249,31 +262,20 @@ def lower_bound_gap(
     n_values: Sequence[int] = (64, 128, 256),
     p: int = 16,
     seed: int = 0,
+    cache: SweepCache | None = None,
+    workers: int = 0,
 ) -> list[dict]:
     """E6: measured COnfLUX volume vs the Section 6 lower bound.
 
     The leading-order ratio tends to 1.5 (the "1/3 over the bound"
     claim); at small N the O(N^2) terms push it higher.
     """
-    rows = []
-    for n in n_values:
-        rec = run_experiment("conflux", n, p, seed=seed)
-        g, _, c = rec.grid
-        m = algorithmic_memory(n, g * g * c, c)
-        bound_total = (
-            lu_parallel_lower_bound_leading(n, m, g * g * c) * (g * g * c)
-        )
-        rows.append(
-            {
-                "n": n,
-                "p": p,
-                "grid": rec.grid,
-                "measured_elements": rec.measured_bytes / 8,
-                "bound_elements": bound_total,
-                "gap": (rec.measured_bytes / 8) / bound_total,
-            }
-        )
-    return rows
+    result = run_sweep(
+        lower_bound_gap_spec(n_values=n_values, p=p, seed=seed),
+        cache=cache,
+        workers=workers,
+    )
+    return [_tuplify_grid(row) for row in result.rows()]
 
 
 def model_gap_at_scale(

@@ -60,6 +60,28 @@ class ExperimentRecord:
     def measured_gb(self) -> float:
         return self.measured_bytes / 1e9
 
+    def to_row(self) -> dict:
+        """JSON-clean row for the sweep engine / result cache.
+
+        Carries every field the canned experiments report so one cached
+        ``measured`` point serves Table 2 (measured vs modeled), Figure
+        6a (per-rank volume) and Figure 6b alike.
+        """
+        return {
+            "impl": self.impl,
+            "n": self.n,
+            "p": self.p,
+            "grid": list(self.grid),
+            "block": self.block,
+            "measured_bytes": self.measured_bytes,
+            "modeled_bytes": self.modeled_bytes,
+            "residual": self.residual,
+            "prediction_pct": self.prediction_pct,
+            "per_rank_bytes": self.per_rank_bytes,
+            "total_bytes": self.measured_bytes,
+            "phase_bytes": dict(self.phase_bytes),
+        }
+
 
 def pick_params(
     impl: str, n: int, p: int, v: int | None = None, nb: int | None = None

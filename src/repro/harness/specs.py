@@ -1,0 +1,398 @@
+"""Built-in sweep tasks and the named spec registry.
+
+Every canned experiment of the reproduction — the Table 2 cells, the
+Figure 6a/6b scaling sweeps, the Figure 7 reduction grid, the lower
+bound gap study and the blocking-parameter ablation — is expressed
+here as a :class:`~repro.harness.sweep.SweepSpec` over one of five
+tasks:
+
+=================  =======================================================
+task               one point computes
+=================  =======================================================
+``measured``       a simulator run of one implementation at (N, P) plus
+                   its analytic model (a Table 2 cell / Figure 6 sample)
+``model``          one implementation's Table 2 model at (N, P)
+``reduction``      best-vs-second-best reduction at (N, P) (Figure 7)
+``lower_bound_gap``  measured COnfLUX volume vs the Section 6 bound
+``block_size``     a COnfLUX run at one blocking parameter v (ablation)
+=================  =======================================================
+
+``SPECS`` maps the public sweep names (``python -m repro sweep --list``)
+to zero-argument factories producing the default instance of each
+experiment; the factories also take parameters so the harness functions
+in :mod:`repro.harness.experiments` can build reduced-scale variants.
+
+The ``measured`` task accepts ``backend="mpi"`` for points meant to run
+under a real MPI launch; inside the pool (or without mpi4py installed,
+as in CI) such points raise :class:`SkipPoint` and are reported as
+skipped rather than failed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.harness.sweep import SkipPoint, SweepSpec, task
+
+# --------------------------------------------------------------------------
+# tasks
+# --------------------------------------------------------------------------
+
+
+@task("measured")
+def measured_task(
+    impl: str,
+    n: int,
+    p: int,
+    seed: int = 0,
+    v: int | None = None,
+    nb: int | None = None,
+    backend: str = "sim",
+) -> dict:
+    """Factor an N x N matrix with ``impl`` on ``p`` simulated ranks."""
+    from repro.harness.runner import run_experiment
+    from repro.smpi.mpi_backend import have_mpi4py
+
+    if backend == "mpi":
+        if not have_mpi4py():
+            raise SkipPoint(
+                "mpi4py not installed; real-MPI point skipped"
+            )
+        raise SkipPoint(
+            "real-MPI points run under mpiexec, not the sweep pool"
+        )
+    if backend != "sim":
+        raise ValueError(f"unknown backend {backend!r}")
+    rec = run_experiment(impl, n, p, seed=seed, v=v, nb=nb)
+    return rec.to_row()
+
+
+@task("model")
+def model_task(
+    impl: str, n: int, p: int, leading_only: bool = False
+) -> dict:
+    """One implementation's Table 2 model at (N, P)."""
+    from repro.models.prediction import sweep_models
+
+    vol = sweep_models(n, p, leading_only=leading_only)[impl]
+    return {
+        "impl": impl,
+        "n": n,
+        "p": p,
+        "total_bytes": vol,
+        "per_rank_bytes": vol / p,
+        "model_gb": vol / 1e9,
+    }
+
+
+@task("reduction")
+def reduction_task(n: int, p: int, leading_only: bool = True) -> dict:
+    """Figure 7: reduction of the best model vs the second best."""
+    from repro.models.prediction import reduction_vs_second_best
+
+    point = reduction_vs_second_best(n, p, leading_only=leading_only)
+    best_vol = min(point.volumes.values())
+    return {
+        "n": n,
+        "p": p,
+        "best": point.best,
+        "second_best": point.second_best,
+        "reduction": point.reduction,
+        "conflux_vs_best": point.volumes["conflux"] / best_vol,
+    }
+
+
+@task("lower_bound_gap")
+def lower_bound_gap_task(n: int, p: int, seed: int = 0) -> dict:
+    """Section 6: measured COnfLUX volume over the parallel bound."""
+    from repro.harness.runner import run_experiment
+    from repro.models.prediction import algorithmic_memory
+    from repro.theory.bounds import lu_parallel_lower_bound_leading
+
+    rec = run_experiment("conflux", n, p, seed=seed)
+    g, _, c = rec.grid
+    m = algorithmic_memory(n, g * g * c, c)
+    bound_total = (
+        lu_parallel_lower_bound_leading(n, m, g * g * c) * (g * g * c)
+    )
+    return {
+        "n": n,
+        "p": p,
+        "grid": list(rec.grid),
+        "measured_elements": rec.measured_bytes / 8,
+        "bound_elements": bound_total,
+        "gap": (rec.measured_bytes / 8) / bound_total,
+    }
+
+
+@task("block_size")
+def block_size_task(n: int, g: int, c: int, v: int, seed: int = 3) -> dict:
+    """Blocking-parameter ablation: one COnfLUX run at block size v."""
+    import numpy as np
+
+    from repro.algorithms import conflux_lu
+
+    a = np.random.default_rng(seed).standard_normal((n, n))
+    res = conflux_lu(a, g * g * c, grid=(g, g, c), v=v)
+    return {
+        "v": v,
+        "n": n,
+        "steps": -(-n // v),
+        "total_bytes": res.volume.total_bytes,
+        "bcast_a00": res.volume.phase_bytes["bcast_a00"],
+        "tournament": res.volume.phase_bytes["tournament"],
+    }
+
+
+# --------------------------------------------------------------------------
+# spec factories
+# --------------------------------------------------------------------------
+
+#: Implementations measured in Table 2 (import-cycle-free copy check in
+#: tests keeps this aligned with runner.IMPLEMENTATION_NAMES).
+DEFAULT_IMPLS = ("scalapack2d", "slate2d", "candmc25d", "conflux")
+
+#: Reduced-scale stand-ins for the paper's Table 2 (N, P) cells — the
+#: simulator-scale substitution DESIGN.md documents.
+TABLE2_MEASURED_POINTS = ((128, 16), (256, 16))
+
+#: The paper's exact Table 2 cells (model evaluation).
+TABLE2_PAPER_POINTS = (
+    (4096, 64),
+    (4096, 1024),
+    (16384, 64),
+    (16384, 1024),
+)
+
+
+def _np_axis(points: Sequence[tuple[int, int]]) -> dict:
+    """Axis over (N, P) pairs, unpacked into n/p by ``_split_np``."""
+    return {"np": [list(np_pair) for np_pair in points]}
+
+
+def _split_np(params: dict) -> dict:
+    np_pair = params.pop("np")
+    params["n"], params["p"] = int(np_pair[0]), int(np_pair[1])
+    return params
+
+
+def table2_measured_spec(
+    points: Sequence[tuple[int, int]] = TABLE2_MEASURED_POINTS,
+    impls: Sequence[str] = DEFAULT_IMPLS,
+    seed: int = 0,
+    backend: str = "sim",
+) -> SweepSpec:
+    return SweepSpec(
+        name="table2",
+        task="measured",
+        axes={**_np_axis(points), "impl": list(impls)},
+        fixed={"seed": seed, "backend": backend},
+        derive=_split_np,
+        description=(
+            "Table 2, measured: simulator runs vs analytic models "
+            "(prediction %) at reduced (N, P)"
+        ),
+    )
+
+
+def table2_models_spec(
+    points: Sequence[tuple[int, int]] = TABLE2_PAPER_POINTS,
+    impls: Sequence[str] = DEFAULT_IMPLS,
+) -> SweepSpec:
+    return SweepSpec(
+        name="table2-models",
+        task="model",
+        axes={**_np_axis(points), "impl": list(impls)},
+        derive=_split_np,
+        description=(
+            "Table 2, modeled: the paper's exact (N, P) cells through "
+            "our Table 2 models"
+        ),
+    )
+
+
+def fig6a_measured_spec(
+    n: int = 256,
+    p_values: Sequence[int] = (4, 8, 16, 32, 64),
+    impls: Sequence[str] = DEFAULT_IMPLS,
+    seed: int = 0,
+) -> SweepSpec:
+    return SweepSpec(
+        name="fig6a",
+        task="measured",
+        axes={"p": list(p_values), "impl": list(impls)},
+        fixed={"n": n, "seed": seed},
+        description=(
+            "Figure 6a, measured: per-rank volume vs P at fixed N "
+            "(strong scaling)"
+        ),
+    )
+
+
+def fig6a_model_spec(
+    n: int = 16384,
+    p_values: Sequence[int] = (16, 64, 256, 1024, 4096, 16384),
+    impls: Sequence[str] = DEFAULT_IMPLS,
+) -> SweepSpec:
+    return SweepSpec(
+        name="fig6a-model",
+        task="model",
+        axes={"p": list(p_values), "impl": list(impls)},
+        fixed={"n": n},
+        description=(
+            "Figure 6a, model curves at the paper's N = 16,384"
+        ),
+    )
+
+
+def _weak_scaling_measured_n(p: int, n0: int) -> int:
+    from repro.models.prediction import weak_scaling_n
+
+    n = max(weak_scaling_n(p, n0), 16)
+    return int(math.ceil(n / 8) * 8)  # keep blocks tidy
+
+
+def fig6b_measured_spec(
+    n0: int = 64,
+    p_values: Sequence[int] = (4, 8, 27, 64),
+    impls: Sequence[str] = DEFAULT_IMPLS,
+    seed: int = 0,
+) -> SweepSpec:
+    def derive(params: dict) -> dict:
+        params["n"] = _weak_scaling_measured_n(params["p"], n0)
+        return params
+
+    return SweepSpec(
+        name="fig6b",
+        task="measured",
+        axes={"p": list(p_values), "impl": list(impls)},
+        fixed={"seed": seed},
+        derive=derive,
+        description=(
+            "Figure 6b, measured: weak scaling N = N0 P^(1/3) "
+            f"(N0 = {n0})"
+        ),
+    )
+
+
+def fig6b_model_spec(
+    n0: int = 3200,
+    p_values: Sequence[int] = (8, 64, 512, 4096, 32768),
+    impls: Sequence[str] = DEFAULT_IMPLS,
+) -> SweepSpec:
+    def derive(params: dict) -> dict:
+        from repro.models.prediction import weak_scaling_n
+
+        params["n"] = weak_scaling_n(params["p"], n0)
+        return params
+
+    return SweepSpec(
+        name="fig6b-model",
+        task="model",
+        axes={"p": list(p_values), "impl": list(impls)},
+        derive=derive,
+        description=(
+            f"Figure 6b, model curves at the paper's N0 = {n0}"
+        ),
+    )
+
+
+def fig7_spec(
+    n_values: Sequence[int] = (4096, 8192, 16384),
+    p_values: Sequence[int] = (
+        64, 256, 1024, 4096, 16384, 65536, 262144,
+    ),
+    leading_only: bool = True,
+) -> SweepSpec:
+    return SweepSpec(
+        name="fig7",
+        task="reduction",
+        axes={"n": list(n_values), "p": list(p_values)},
+        fixed={"leading_only": leading_only},
+        description=(
+            "Figure 7: predicted reduction vs the second-best "
+            "implementation over the (P, N) grid"
+        ),
+    )
+
+
+def lower_bound_gap_spec(
+    n_values: Sequence[int] = (64, 128, 256),
+    p: int = 16,
+    seed: int = 0,
+) -> SweepSpec:
+    return SweepSpec(
+        name="lower-bound-gap",
+        task="lower_bound_gap",
+        axes={"n": list(n_values)},
+        fixed={"p": p, "seed": seed},
+        description=(
+            "Section 6: measured COnfLUX volume vs the parallel I/O "
+            "lower bound"
+        ),
+    )
+
+
+def block_size_spec(
+    n: int = 128,
+    g: int = 2,
+    c: int = 2,
+    v_values: Sequence[int] = (2, 4, 8, 16, 32),
+    seed: int = 3,
+) -> SweepSpec:
+    return SweepSpec(
+        name="ablation-block-size",
+        task="block_size",
+        axes={"v": list(v_values)},
+        fixed={"n": n, "g": g, "c": c, "seed": seed},
+        description=(
+            "Ablation: COnfLUX volume vs the blocking parameter v "
+            "(Section 7.2)"
+        ),
+    )
+
+
+def table2_mpi_spec() -> SweepSpec:
+    """The Table 2 grid addressed to the real-MPI backend.
+
+    Enumerable everywhere; its points skip unless executed under an
+    mpiexec launch with mpi4py present — the CI smoke run exercises
+    exactly that skip path.
+    """
+    import dataclasses
+
+    return dataclasses.replace(
+        table2_measured_spec(backend="mpi"),
+        name="table2-mpi",
+        description=(
+            "Table 2 grid addressed to the real-MPI backend (points "
+            "skip without an mpiexec launch)"
+        ),
+    )
+
+
+#: Public sweep names: ``python -m repro sweep --run <name>``.
+SPECS = {
+    "table2": table2_measured_spec,
+    "table2-models": table2_models_spec,
+    "table2-mpi": table2_mpi_spec,
+    "fig6a": fig6a_measured_spec,
+    "fig6a-model": fig6a_model_spec,
+    "fig6b": fig6b_measured_spec,
+    "fig6b-model": fig6b_model_spec,
+    "fig7": fig7_spec,
+    "lower-bound-gap": lower_bound_gap_spec,
+    "ablation-block-size": block_size_spec,
+}
+
+
+def named_spec(name: str) -> SweepSpec:
+    """Instantiate a registry spec by name (KeyError lists options)."""
+    try:
+        factory = SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep {name!r}; available: {', '.join(sorted(SPECS))}"
+        ) from None
+    return factory()

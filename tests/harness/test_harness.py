@@ -1,7 +1,5 @@
 """Tests for the experiment harness (runner, experiments, reporting)."""
 
-import math
-
 import pytest
 
 from repro.harness import (

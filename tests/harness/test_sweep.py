@@ -1,0 +1,293 @@
+"""Tests for the parallel sweep engine (specs, cache, execution)."""
+
+import json
+
+import pytest
+
+from repro.harness.cache import SweepCache, point_key
+from repro.harness.specs import (
+    SPECS,
+    block_size_spec,
+    named_spec,
+    table2_measured_spec,
+)
+from repro.harness.sweep import (
+    SkipPoint,
+    SweepError,
+    SweepSpec,
+    run_sweep,
+    task,
+    unregister_task,
+)
+from repro.smpi.mpi_backend import have_mpi4py
+
+CALL_LOG: list[dict] = []
+
+
+@pytest.fixture
+def scratch_task():
+    """Register a disposable task that logs its invocations."""
+    CALL_LOG.clear()
+
+    @task("_scratch", schema_version=1)
+    def scratch(
+        x: int,
+        boom_on: int | None = None,
+        trip_file: str | None = None,
+    ) -> dict:
+        # two fault injectors: ``boom_on`` encodes the fault in the
+        # point params; ``trip_file`` is environmental (same cache key
+        # with and without the fault), which is what resume semantics
+        # are about.
+        CALL_LOG.append({"x": x})
+        if boom_on is not None and x == boom_on:
+            raise ValueError(f"boom at x={x}")
+        if trip_file is not None:
+            import pathlib
+
+            trip = pathlib.Path(trip_file)
+            if trip.exists() and int(trip.read_text()) == x:
+                raise ValueError(f"boom at x={x}")
+        return {"x": x, "y": x * x}
+
+    yield "_scratch"
+    unregister_task("_scratch")
+
+
+def scratch_spec(xs=(1, 2, 3), boom_on=None) -> SweepSpec:
+    fixed = {} if boom_on is None else {"boom_on": boom_on}
+    return SweepSpec(
+        name="scratch", task="_scratch", axes={"x": list(xs)},
+        fixed=fixed,
+    )
+
+
+class TestSpecEnumeration:
+    def test_cartesian_order_is_deterministic(self):
+        spec = SweepSpec(
+            name="s", task="_t",
+            axes={"a": [1, 2], "b": ["x", "y"]},
+        )
+        combos = [
+            (p.params["a"], p.params["b"]) for p in spec.points()
+        ]
+        assert combos == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+
+    def test_fixed_derive_and_filters(self):
+        spec = SweepSpec(
+            name="s", task="_t",
+            axes={"p": [4, 8, 16]},
+            fixed={"seed": 7},
+            derive=lambda d: {**d, "n": 10 * d["p"]},
+            filters=(lambda d: d["p"] != 8,),
+        )
+        points = spec.points()
+        assert [p.params["p"] for p in points] == [4, 16]
+        assert all(p.params["seed"] == 7 for p in points)
+        assert points[0].params["n"] == 40
+
+    def test_non_json_params_rejected(self):
+        spec = SweepSpec(
+            name="s", task="_t", axes={"x": [object()]},
+        )
+        with pytest.raises(TypeError, match="JSON-serialisable"):
+            spec.points()
+
+    def test_every_named_spec_enumerates(self):
+        for name in SPECS:
+            points = named_spec(name).points()
+            assert points, name
+            # identity must be hashable data for the cache
+            for point in points[:2]:
+                assert point.cache_key()
+
+    def test_unknown_named_spec(self):
+        with pytest.raises(KeyError, match="table2"):
+            named_spec("nope")
+
+
+class TestCacheKeys:
+    def test_key_ignores_param_order_and_tuples(self):
+        assert point_key("t", {"a": 1, "b": [2, 3]}) == point_key(
+            "t", {"b": [2, 3], "a": 1}
+        )
+
+    def test_key_varies_with_params_task_and_schema(self):
+        base = point_key("t", {"a": 1})
+        assert point_key("t", {"a": 2}) != base
+        assert point_key("u", {"a": 1}) != base
+        assert point_key("t", {"a": 1}, schema_version=2) != base
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = point_key("t", {"a": 1})
+        path = cache.put(key, "t", {"a": 1}, {"ok": 1}, 0.1)
+        assert cache.get(key)["result"] == {"ok": 1}
+        path.write_text("{truncated")
+        assert cache.get(key) is None
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put(point_key("t", {"a": 1}), "t", {"a": 1}, {}, 0.5)
+        cache.put(point_key("t", {"a": 2}), "t", {"a": 2}, {}, 0.25)
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["by_task"] == {"t": 2}
+        assert stats["compute_seconds_saved"] == pytest.approx(0.75)
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+
+
+class TestCacheSemantics:
+    def test_hit_skips_recompute_and_preserves_rows(
+        self, tmp_path, scratch_task
+    ):
+        cache = SweepCache(tmp_path)
+        first = run_sweep(scratch_spec(), cache=cache)
+        assert first.n_computed == 3 and first.n_cached == 0
+        assert len(CALL_LOG) == 3
+
+        second = run_sweep(scratch_spec(), cache=cache)
+        assert second.n_cached == 3 and second.n_computed == 0
+        assert len(CALL_LOG) == 3  # zero new task invocations
+        assert second.rows() == first.rows()
+
+    def test_force_recomputes_despite_cache(self, tmp_path, scratch_task):
+        cache = SweepCache(tmp_path)
+        run_sweep(scratch_spec(), cache=cache)
+        CALL_LOG.clear()
+        forced = run_sweep(scratch_spec(), cache=cache, force=True)
+        assert forced.n_computed == 3
+        assert len(CALL_LOG) == 3
+
+    def test_changed_param_is_a_miss(self, tmp_path, scratch_task):
+        cache = SweepCache(tmp_path)
+        run_sweep(scratch_spec(xs=(1, 2)), cache=cache)
+        CALL_LOG.clear()
+        widened = run_sweep(scratch_spec(xs=(1, 2, 5)), cache=cache)
+        assert widened.n_cached == 2 and widened.n_computed == 1
+        assert [c["x"] for c in CALL_LOG] == [5]
+
+    def test_max_points_truncates(self, scratch_task):
+        res = run_sweep(scratch_spec(), max_points=2)
+        assert res.n_points == 2
+
+
+class TestFailureAndResume:
+    def test_failure_is_captured_not_raised(self, scratch_task):
+        res = run_sweep(scratch_spec(boom_on=2))
+        assert res.n_failed == 1 and res.n_ok == 2
+        failure = res.failures()[0]
+        assert "boom at x=2" in failure.error
+        assert res.rows(strict=False) == [
+            {"x": 1, "y": 1}, {"x": 3, "y": 9},
+        ]
+        with pytest.raises(SweepError, match="boom at x=2"):
+            res.rows()
+
+    def test_resume_after_partial_failure(self, tmp_path, scratch_task):
+        cache = SweepCache(tmp_path / "cache")
+        trip = tmp_path / "trip"
+        trip.write_text("2")
+        spec = SweepSpec(
+            name="scratch", task="_scratch",
+            axes={"x": [1, 2, 3]}, fixed={"trip_file": str(trip)},
+        )
+        broken = run_sweep(spec, cache=cache)
+        assert broken.n_failed == 1 and broken.n_computed == 2
+
+        # the failed point was not cached: re-running the identical
+        # spec after the environmental fault clears resumes — hits for
+        # the two completed points, one fresh run for the failed one
+        trip.unlink()
+        CALL_LOG.clear()
+        resumed = run_sweep(spec, cache=cache)
+        assert resumed.n_cached == 2 and resumed.n_computed == 1
+        assert [c["x"] for c in CALL_LOG] == [2]
+        assert resumed.n_failed == 0
+        assert [r["x"] for r in resumed.rows()] == [1, 2, 3]
+
+    def test_failed_points_keep_result_ordering(self, scratch_task):
+        res = run_sweep(scratch_spec(xs=(3, 1, 2), boom_on=1))
+        assert [r.point.params["x"] for r in res.results] == [3, 1, 2]
+        assert [r.status for r in res.results] == ["ok", "error", "ok"]
+
+
+class TestParallelExecution:
+    def test_worker_pool_matches_inline_results(self, tmp_path):
+        spec = table2_measured_spec(
+            points=((48, 4),), impls=("conflux", "scalapack2d"),
+            seed=11,
+        )
+        inline = run_sweep(spec, workers=0)
+        pooled = run_sweep(spec, workers=2)
+        assert inline.rows() == pooled.rows()
+
+    def test_pool_failure_capture_and_cache(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        spec = table2_measured_spec(
+            points=((48, 4), (64, 4)), impls=("magma", "conflux"),
+            seed=11,
+        )
+        res = run_sweep(spec, workers=3, cache=cache)
+        # unknown implementation fails per-point, conflux points succeed
+        assert res.n_failed == 2 and res.n_ok == 2
+        assert all("magma" in f.error for f in res.failures())
+        resumed = run_sweep(spec, workers=3, cache=cache)
+        assert resumed.n_cached == 2
+        assert resumed.n_computed == 0 and resumed.n_failed == 2
+
+
+class TestMpiSkipPath:
+    @pytest.mark.skipif(
+        have_mpi4py(), reason="CI path: mpi4py must be absent"
+    )
+    def test_mpi_backend_points_skip_without_mpi4py(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        res = run_sweep(
+            named_spec("table2-mpi"), max_points=3, cache=cache
+        )
+        assert res.n_skipped == 3
+        assert res.n_failed == 0 and res.n_ok == 0
+        assert res.rows() == []  # skips are not failures
+        # skipped points are never cached — they rerun when possible
+        assert cache.stats()["entries"] == 0
+
+    def test_skip_point_is_not_an_error(self, scratch_task):
+        @task("_skipper")
+        def skipper(x: int) -> dict:
+            raise SkipPoint("not here")
+
+        try:
+            res = run_sweep(
+                SweepSpec(name="s", task="_skipper", axes={"x": [1]})
+            )
+            assert res.results[0].status == "skipped"
+            assert res.results[0].error == "not here"
+        finally:
+            unregister_task("_skipper")
+
+
+class TestSpecsMatchRunner:
+    def test_default_impls_track_runner(self):
+        from repro.harness.runner import IMPLEMENTATION_NAMES
+        from repro.harness.specs import DEFAULT_IMPLS
+
+        assert DEFAULT_IMPLS == IMPLEMENTATION_NAMES
+
+    def test_block_size_spec_rows_match_direct_run(self):
+        res = run_sweep(block_size_spec(v_values=(4,)))
+        row = res.rows()[0]
+        assert row["v"] == 4 and row["steps"] == 32
+        assert row["total_bytes"] > 0
+        assert row["bcast_a00"] > 0 and row["tournament"] > 0
+
+    def test_cached_entry_is_plain_json(self, tmp_path, scratch_task):
+        cache = SweepCache(tmp_path)
+        run_sweep(scratch_spec(xs=(1,)), cache=cache)
+        (entry,) = cache.entries()
+        # the file itself round-trips as documented in DESIGN.md
+        assert json.loads(json.dumps(entry)) == entry
+        assert entry["task"] == "_scratch"
+        assert entry["params"] == {"x": 1}
+        assert entry["result"] == {"x": 1, "y": 1}

@@ -107,8 +107,6 @@ class TestTournament:
         v = 3
         panel = _panel(12, v, seed=9)
         ids, _, _ = tournament_pivot_rows(panel, np.arange(12), v, nchunks=1)
-        from repro.kernels.linalg import permutation_from_pivots
-
         _, piv = lu_partial_pivot(panel[:, :v].copy()) if panel.shape[0] == v \
             else (None, None)
         # generic check: the selected rows must contain the column-0 max

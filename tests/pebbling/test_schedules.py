@@ -1,6 +1,5 @@
 """Greedy scheduler tests: validity and lower-bound sandwiching."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -152,8 +151,6 @@ class TestAgainstBruteForceOptimal:
 
     def _optimal_q(self, g: CDag, m: int, limit: int = 200_000) -> int:
         """Breadth-first search over game states (small graphs only)."""
-        from repro.pebbling.game import PebbleGame
-
         inputs = frozenset(g.inputs)
         outputs = frozenset(g.outputs)
         start = (frozenset(), inputs, frozenset())

@@ -99,6 +99,75 @@ class TestModelsCommand:
         assert "leading factors" in capsys.readouterr().out
 
 
+class TestSweepCommand:
+    def test_list_names_every_spec(self, capsys):
+        rc = main(["sweep", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("table2", "fig6a", "fig7", "lower-bound-gap"):
+            assert name in out
+
+    def test_run_then_resume_hits_cache(self, capsys, tmp_path):
+        args = ["sweep", "--run", "table2", "--max-points", "2",
+                "--workers", "1", "--cache-dir", str(tmp_path)]
+        rc = main(args)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 computed, 0 cached" in out
+        assert "scalapack2d" in out
+
+        rc = main(["sweep", "--resume", "table2", "--max-points", "2",
+                   "--workers", "1", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 computed, 2 cached" in out
+
+    def test_show_and_clear_cache(self, capsys, tmp_path):
+        main(["sweep", "--run", "table2", "--max-points", "1",
+              "--workers", "1", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(["sweep", "--show-cache", "--cache-dir",
+                   str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "entries: 1" in out
+        rc = main(["sweep", "--clear-cache", "--cache-dir",
+                   str(tmp_path)])
+        assert rc == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+
+    def test_mpi_sweep_skips_cleanly(self, capsys, tmp_path):
+        from repro.smpi.mpi_backend import have_mpi4py
+
+        if have_mpi4py():  # pragma: no cover - CI has no mpi4py
+            pytest.skip("mpi4py present; skip path not reachable")
+        rc = main(["sweep", "--run", "table2-mpi", "--max-points", "2",
+                   "--workers", "1", "--cache-dir", str(tmp_path),
+                   "--verbose"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 skipped" in out
+
+    def test_unknown_sweep_name(self, capsys):
+        rc = main(["sweep", "--run", "not-a-sweep"])
+        assert rc == 2
+        assert "unknown sweep" in capsys.readouterr().err
+
+    def test_no_action_is_an_error(self, capsys):
+        rc = main(["sweep"])
+        assert rc == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_no_cache_flag_recomputes(self, capsys, tmp_path):
+        args = ["sweep", "--run", "lower-bound-gap", "--max-points",
+                "1", "--workers", "1", "--no-cache",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert "1 computed" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "1 computed" in capsys.readouterr().out
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
