@@ -19,15 +19,33 @@ Extensions beyond the paper's evaluation (its stated future work):
 * :mod:`repro.algorithms.mmm25d` — the communication-optimal 2.5D MMM
   of the paper's methodological ancestor [42], measured against the
   2 N^3/(P sqrt(M)) bound the theory package derives.
+* :mod:`repro.algorithms.caqr25d` — 2.5D CAQR: TSQR panel
+  factorizations on the [G, G, c] grid (Demmel et al.'s
+  communication-avoiding QR, the journal extension's QR workload).
+* :mod:`repro.algorithms.qr2d` — the ScaLAPACK-style 2D block-cyclic
+  Householder QR baseline (pdgeqrf's schedule).
 
 Every implementation returns a :class:`~repro.algorithms.base.FactorResult`
 carrying assembled global factors, the row permutation, the residual
-``||P A - L U|| / ||A||`` and the full communication-volume report.
+``||P A - L U|| / ||A||`` (for QR: ``||A - Q R|| / ||A||`` with the
+orthogonality defect in ``meta``) and the full communication-volume
+report.
 """
 
-from repro.algorithms.base import FactorResult, IMPLEMENTATIONS, factor_by_name
+from repro.algorithms.base import (
+    FactorCheck,
+    FactorResult,
+    FactorVerificationError,
+    IMPLEMENTATIONS,
+    check_factors,
+    factor_by_name,
+    verify_factors,
+    verify_qr_factors,
+)
 from repro.algorithms.conflux import conflux_lu
 from repro.algorithms.cholesky25d import cholesky25d_lu
+from repro.algorithms.caqr25d import caqr25d_qr
+from repro.algorithms.qr2d import qr2d_householder
 from repro.algorithms.mmm25d import mmm25d, mmm25d_model_bytes
 from repro.algorithms.scalapack2d import scalapack2d_lu
 from repro.algorithms.slate2d import slate2d_lu
@@ -39,10 +57,14 @@ from repro.algorithms.gridopt import (
 )
 
 __all__ = [
+    "FactorCheck",
     "FactorResult",
+    "FactorVerificationError",
     "GridChoice",
     "IMPLEMENTATIONS",
     "candmc25d_lu",
+    "caqr25d_qr",
+    "check_factors",
     "cholesky25d_lu",
     "choose_grid_2d",
     "conflux_lu",
@@ -50,6 +72,9 @@ __all__ = [
     "mmm25d",
     "mmm25d_model_bytes",
     "optimize_grid_25d",
+    "qr2d_householder",
     "scalapack2d_lu",
     "slate2d_lu",
+    "verify_factors",
+    "verify_qr_factors",
 ]

@@ -36,6 +36,9 @@ def _cmd_factor(args: argparse.Namespace) -> int:
     res = factor_by_name(args.impl, a, args.p, **kwargs)
     print(res.describe())
     print(f"per-rank volume: {res.volume.per_rank_bytes:,.0f} B")
+    if "orthogonality" in res.meta:
+        print(f"orthogonality ||Q^T Q - I||: "
+              f"{res.meta['orthogonality']:.2e}")
     if args.verbose:
         for phase, nbytes in sorted(
             res.volume.phase_bytes.items(), key=lambda kv: -kv[1]
@@ -214,7 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
     f = sub.add_parser("factor", help="run a distributed factorization")
     f.add_argument("--impl", default="conflux",
                    choices=["conflux", "scalapack2d", "slate2d",
-                            "candmc25d", "cholesky25d"])
+                            "candmc25d", "cholesky25d", "caqr25d",
+                            "qr2d"])
     f.add_argument("--n", type=int, default=256)
     f.add_argument("--p", type=int, default=16)
     f.add_argument("--v", type=int, default=None, help="2.5D block size")

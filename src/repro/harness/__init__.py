@@ -22,6 +22,9 @@ from repro.harness.experiments import (
     fig6b_weak_scaling,
     fig7_reduction_grid,
     lower_bound_gap,
+    qr_lower_bound_gap,
+    qr_strong_scaling,
+    qr_weak_scaling,
     table2_measured_rows,
     table2_model_rows,
 )
@@ -57,6 +60,9 @@ __all__ = [
     "format_table",
     "lower_bound_gap",
     "named_spec",
+    "qr_lower_bound_gap",
+    "qr_strong_scaling",
+    "qr_weak_scaling",
     "run_experiment",
     "run_sweep",
     "table2_measured_rows",

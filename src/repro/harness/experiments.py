@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.harness.cache import SweepCache
-from repro.harness.runner import IMPLEMENTATION_NAMES
+from repro.harness.runner import IMPLEMENTATION_NAMES, QR_IMPLEMENTATION_NAMES
 from repro.harness.specs import (
     TABLE2_PAPER_POINTS,
     fig6a_measured_spec,
@@ -28,6 +28,9 @@ from repro.harness.specs import (
     fig6b_model_spec,
     fig7_spec,
     lower_bound_gap_spec,
+    qr_lower_bound_gap_spec,
+    qr_strong_scaling_spec,
+    qr_weak_scaling_spec,
     table2_measured_spec,
     table2_models_spec,
 )
@@ -46,6 +49,9 @@ __all__ = [
     "fig7_reduction_grid",
     "lower_bound_gap",
     "model_gap_at_scale",
+    "qr_lower_bound_gap",
+    "qr_strong_scaling",
+    "qr_weak_scaling",
     "summit_prediction",
     "table2_measured_rows",
     "table2_model_rows",
@@ -272,6 +278,64 @@ def lower_bound_gap(
     """
     result = run_sweep(
         lower_bound_gap_spec(n_values=n_values, p=p, seed=seed),
+        cache=cache,
+        workers=workers,
+    )
+    return [_tuplify_grid(row) for row in result.rows()]
+
+
+def qr_strong_scaling(
+    n: int = 96,
+    p_values: Sequence[int] = (4, 8, 16),
+    impls: Sequence[str] = QR_IMPLEMENTATION_NAMES,
+    seed: int = 0,
+    cache: SweepCache | None = None,
+    workers: int = 0,
+) -> list[dict]:
+    """E7: per-rank QR volume vs P — 2D Householder vs 2.5D CAQR."""
+    result = run_sweep(
+        qr_strong_scaling_spec(
+            n=n, p_values=p_values, impls=impls, seed=seed
+        ),
+        cache=cache,
+        workers=workers,
+    )
+    return [_tuplify_grid(row) for row in result.rows()]
+
+
+def qr_weak_scaling(
+    n0: int = 32,
+    p_values: Sequence[int] = (4, 8, 27),
+    impls: Sequence[str] = QR_IMPLEMENTATION_NAMES,
+    seed: int = 0,
+    cache: SweepCache | None = None,
+    workers: int = 0,
+) -> list[dict]:
+    """E8: QR weak scaling N = N0 P^(1/3) (constant work per node)."""
+    result = run_sweep(
+        qr_weak_scaling_spec(
+            n0=n0, p_values=p_values, impls=impls, seed=seed
+        ),
+        cache=cache,
+        workers=workers,
+    )
+    return [_tuplify_grid(row) for row in result.rows()]
+
+
+def qr_lower_bound_gap(
+    n_values: Sequence[int] = (48, 64, 96),
+    p: int = 16,
+    seed: int = 0,
+    cache: SweepCache | None = None,
+    workers: int = 0,
+) -> list[dict]:
+    """E9: measured 2.5D CAQR volume vs the QR I/O lower bound.
+
+    The acceptance check for the QR layer: the gap must stay within a
+    small constant factor (<= 4x) of 4 N^3 / (3 P sqrt(M)).
+    """
+    result = run_sweep(
+        qr_lower_bound_gap_spec(n_values=n_values, p=p, seed=seed),
         cache=cache,
         workers=workers,
     )

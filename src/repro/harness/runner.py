@@ -23,12 +23,17 @@ from repro.algorithms import factor_by_name
 from repro.algorithms.gridopt import choose_grid_2d, optimize_grid_25d
 from repro.models.costmodels import (
     candmc_sim_total_bytes,
+    caqr25d_total_bytes,
     conflux_total_bytes,
+    qr2d_total_bytes,
     scalapack2d_total_bytes,
     slate_total_bytes,
 )
 
 IMPLEMENTATION_NAMES = ("scalapack2d", "slate2d", "candmc25d", "conflux")
+
+#: The QR family (kept separate: Table 2 is an LU artifact).
+QR_IMPLEMENTATION_NAMES = ("qr2d", "caqr25d")
 
 
 @dataclass(frozen=True)
@@ -93,10 +98,18 @@ def pick_params(
         if v is None:
             v = max(c, 2)
         return {"grid": (g, g, c), "v": v}
+    if impl == "caqr25d":
+        choice = optimize_grid_25d(p, n)
+        g, c = choice.grid_rows, choice.layers
+        if v is None:
+            v = max(2, min(8, n))
+        return {"grid": (g, g, c), "v": v}
     if impl == "scalapack2d":
         return {"grid": choose_grid_2d(p), "nb": nb or 32}
     if impl == "slate2d":
         return {"grid": choose_grid_2d(p, prefer_tall=True), "nb": nb or 16}
+    if impl == "qr2d":
+        return {"grid": choose_grid_2d(p), "nb": nb or 16}
     raise KeyError(f"unknown implementation {impl!r}")
 
 
@@ -110,12 +123,20 @@ def model_for(impl: str, n: int, p: int, params: dict) -> float:
         g, _, c = params["grid"]
         return candmc_sim_total_bytes(n, g * g * c, c=c, v=params["v"],
                                       grid_rows=g)
+    if impl == "caqr25d":
+        g, _, c = params["grid"]
+        return caqr25d_total_bytes(n, g * g * c, c=c, v=params["v"],
+                                   grid_rows=g)
     if impl == "scalapack2d":
         pr, pc = params["grid"]
         return scalapack2d_total_bytes(n, pr * pc)
     if impl == "slate2d":
         pr, pc = params["grid"]
         return slate_total_bytes(n, pr * pc)
+    if impl == "qr2d":
+        pr, pc = params["grid"]
+        return qr2d_total_bytes(n, pr * pc, nb=params["nb"],
+                                grid=(pr, pc))
     raise KeyError(f"unknown implementation {impl!r}")
 
 

@@ -15,7 +15,11 @@ task               one point computes
 ``reduction``      best-vs-second-best reduction at (N, P) (Figure 7)
 ``lower_bound_gap``  measured COnfLUX volume vs the Section 6 bound
 ``block_size``     a COnfLUX run at one blocking parameter v (ablation)
+``qr_lower_bound_gap``  measured 2.5D CAQR volume vs the QR I/O bound
 =================  =======================================================
+
+The QR family (``qr2d``, ``caqr25d``) rides the same ``measured`` task;
+its sweeps are ``qr-strong``, ``qr-weak`` and ``qr-lower-bound-gap``.
 
 ``SPECS`` maps the public sweep names (``python -m repro sweep --list``)
 to zero-argument factories producing the default instance of each
@@ -116,6 +120,28 @@ def lower_bound_gap_task(n: int, p: int, seed: int = 0) -> dict:
     bound_total = (
         lu_parallel_lower_bound_leading(n, m, g * g * c) * (g * g * c)
     )
+    return {
+        "n": n,
+        "p": p,
+        "grid": list(rec.grid),
+        "measured_elements": rec.measured_bytes / 8,
+        "bound_elements": bound_total,
+        "gap": (rec.measured_bytes / 8) / bound_total,
+    }
+
+
+@task("qr_lower_bound_gap")
+def qr_lower_bound_gap_task(n: int, p: int, seed: int = 0) -> dict:
+    """Measured 2.5D CAQR volume over the parallel QR I/O bound."""
+    from repro.harness.runner import run_experiment
+    from repro.models.prediction import algorithmic_memory
+    from repro.theory.bounds import qr_parallel_lower_bound
+
+    rec = run_experiment("caqr25d", n, p, seed=seed)
+    g, _, c = rec.grid
+    active = g * g * c
+    m = algorithmic_memory(n, active, c)
+    bound_total = qr_parallel_lower_bound(n, m, active) * active
     return {
         "n": n,
         "p": p,
@@ -353,6 +379,70 @@ def block_size_spec(
     )
 
 
+#: The QR family measured through the shared ``measured`` task
+#: (import-cycle-free copy check in tests keeps this aligned with
+#: runner.QR_IMPLEMENTATION_NAMES, like DEFAULT_IMPLS above).
+QR_IMPLS = ("qr2d", "caqr25d")
+
+
+def qr_strong_scaling_spec(
+    n: int = 96,
+    p_values: Sequence[int] = (4, 8, 16),
+    impls: Sequence[str] = QR_IMPLS,
+    seed: int = 0,
+) -> SweepSpec:
+    return SweepSpec(
+        name="qr-strong",
+        task="measured",
+        axes={"p": list(p_values), "impl": list(impls)},
+        fixed={"n": n, "seed": seed},
+        description=(
+            "QR strong scaling: per-rank volume vs P at fixed N "
+            "(2D Householder vs 2.5D CAQR)"
+        ),
+    )
+
+
+def qr_weak_scaling_spec(
+    n0: int = 32,
+    p_values: Sequence[int] = (4, 8, 27),
+    impls: Sequence[str] = QR_IMPLS,
+    seed: int = 0,
+) -> SweepSpec:
+    def derive(params: dict) -> dict:
+        params["n"] = _weak_scaling_measured_n(params["p"], n0)
+        return params
+
+    return SweepSpec(
+        name="qr-weak",
+        task="measured",
+        axes={"p": list(p_values), "impl": list(impls)},
+        fixed={"seed": seed},
+        derive=derive,
+        description=(
+            f"QR weak scaling: N = N0 P^(1/3) (N0 = {n0}), 2D "
+            "Householder vs 2.5D CAQR"
+        ),
+    )
+
+
+def qr_lower_bound_gap_spec(
+    n_values: Sequence[int] = (48, 64, 96),
+    p: int = 16,
+    seed: int = 0,
+) -> SweepSpec:
+    return SweepSpec(
+        name="qr-lower-bound-gap",
+        task="qr_lower_bound_gap",
+        axes={"n": list(n_values)},
+        fixed={"p": p, "seed": seed},
+        description=(
+            "Measured 2.5D CAQR volume vs the parallel QR I/O lower "
+            "bound (constant-factor gap)"
+        ),
+    )
+
+
 def table2_mpi_spec() -> SweepSpec:
     """The Table 2 grid addressed to the real-MPI backend.
 
@@ -384,6 +474,9 @@ SPECS = {
     "fig7": fig7_spec,
     "lower-bound-gap": lower_bound_gap_spec,
     "ablation-block-size": block_size_spec,
+    "qr-strong": qr_strong_scaling_spec,
+    "qr-weak": qr_weak_scaling_spec,
+    "qr-lower-bound-gap": qr_lower_bound_gap_spec,
 }
 
 

@@ -30,20 +30,38 @@ from repro.kernels.tournament import (
     merge_candidates,
     tournament_pivot_rows,
 )
+from repro.kernels.tsqr import (
+    MergeStep,
+    TsqrFactors,
+    apply_q,
+    apply_qt,
+    householder_qr,
+    merge_plan,
+    thin_q,
+    tsqr,
+)
 
 __all__ = [
+    "MergeStep",
     "PivotCandidates",
+    "TsqrFactors",
+    "apply_q",
+    "apply_qt",
     "apply_row_permutation",
     "growth_factor",
+    "householder_qr",
     "local_candidates",
     "lu_blocked_partial_pivot",
     "lu_nopivot",
     "lu_partial_pivot",
     "lu_residual",
     "merge_candidates",
+    "merge_plan",
     "permutation_from_pivots",
     "split_lu",
+    "thin_q",
     "tournament_pivot_rows",
     "trsm_lower_unit",
     "trsm_upper",
+    "tsqr",
 ]

@@ -1,0 +1,358 @@
+"""TSQR kernels — tall-skinny QR by Householder panels and a binary
+reduction tree (Demmel, Grigori, Hoemmen, Langou, arXiv:0808.2664).
+
+A TSQR factors a tall panel distributed as row blocks in two stages:
+
+1. every block runs a local Householder QR, keeping its reflectors and
+   an R factor of at most ``ncols`` rows;
+2. R factors meet in ``log2(L)`` "merge" rounds — each round stacks two
+   R factors and re-factors the stack, keeping the merge reflectors.
+
+The panel's full orthogonal factor Q is never formed; it exists
+*implicitly* as the collection of leaf and merge reflectors
+(:class:`TsqrFactors`), exactly like LAPACK's ``geqrf``/``ormqr`` pair.
+:meth:`TsqrFactors.apply_qt` applies Q^T to a conforming matrix (the
+CAQR trailing update), :meth:`TsqrFactors.apply_q` applies Q (explicit
+reconstruction, used to assemble the global Q factor host-side).
+
+The merge schedule (:func:`merge_plan`) is shared with the distributed
+2.5D CAQR (:mod:`repro.algorithms.caqr25d`): leaf 0 is the tree root
+(in CAQR, the grid row owning the panel's diagonal block), and the
+*survivor-swap* rule guarantees a merged R always fits inside the
+survivor's physical rows — so the distributed exchange never has to
+split a logical R across two ranks.
+
+These kernels are pure functions over numpy arrays, vectorized over
+rows; only the reflector loop runs in Python (panels are at most a few
+dozen columns wide).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Householder QR (LAPACK geqrf conventions)
+# ---------------------------------------------------------------------------
+
+
+def householder_qr(
+    a: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Householder QR of an (m, n) matrix.
+
+    Returns ``(v, tau, r)``:
+
+    * ``v`` — (m, k) unit-lower-trapezoidal reflector matrix, k =
+      min(m, n); reflector j is ``v[:, j]`` with ``v[j, j] == 1`` and
+      zeros above;
+    * ``tau`` — (k,) reflector coefficients, H_j = I - tau_j v_j v_j^T;
+    * ``r`` — (k, n) upper-trapezoidal factor, with A = Q R and
+      Q = H_0 H_1 ... H_{k-1} (diagonal of R may carry either sign,
+      as in LAPACK).
+    """
+    work = np.array(a, dtype=np.float64, copy=True)
+    if work.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {work.shape}")
+    m, n = work.shape
+    k = min(m, n)
+    v = np.zeros((m, k))
+    tau = np.zeros(k)
+    for j in range(k):
+        alpha = work[j, j]
+        sigma = float(np.dot(work[j + 1 :, j], work[j + 1 :, j]))
+        if sigma == 0.0:
+            # Column already reduced: H_j = I (tau 0, beta = alpha).
+            v[j, j] = 1.0
+            continue
+        beta = -math.copysign(math.hypot(alpha, math.sqrt(sigma)), alpha)
+        tau[j] = (beta - alpha) / beta
+        w = work[j:, j] / (alpha - beta)
+        w[0] = 1.0
+        v[j:, j] = w
+        if j + 1 < n:
+            work[j:, j + 1 :] -= tau[j] * np.outer(w, w @ work[j:, j + 1 :])
+        work[j, j] = beta
+        work[j + 1 :, j] = 0.0
+    return v, tau, np.triu(work[:k, :])
+
+
+def apply_qt(v: np.ndarray, tau: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Apply Q^T (Q from ``householder_qr``) to conforming ``b``."""
+    out = np.array(b, dtype=np.float64, copy=True)
+    for j in range(len(tau)):
+        if tau[j] == 0.0:
+            continue
+        w = v[:, j]
+        out -= tau[j] * np.outer(w, w @ out)
+    return out
+
+
+def apply_q(v: np.ndarray, tau: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Apply Q (Q from ``householder_qr``) to conforming ``b``."""
+    out = np.array(b, dtype=np.float64, copy=True)
+    for j in range(len(tau) - 1, -1, -1):
+        if tau[j] == 0.0:
+            continue
+        w = v[:, j]
+        out -= tau[j] * np.outer(w, w @ out)
+    return out
+
+
+def thin_q(v: np.ndarray, tau: np.ndarray) -> np.ndarray:
+    """Explicit thin Q (m, k) — the ``orgqr`` analogue."""
+    m, k = v.shape
+    return apply_q(v, tau, np.eye(m)[:, :k])
+
+
+# ---------------------------------------------------------------------------
+# merge schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One tree merge: leaf ``b``'s R is absorbed into leaf ``a``'s.
+
+    ``r_a`` and ``r_b`` are the R row counts entering the merge; after
+    it, survivor ``a`` holds ``min(r_a + r_b, ncols)`` R rows.
+    """
+
+    a: int
+    b: int
+    r_a: int
+    r_b: int
+
+
+def merge_plan(row_counts: list[int], ncols: int) -> list[MergeStep]:
+    """Pairing schedule of the binary TSQR tree over the given leaves.
+
+    Leaves are paired in index order, round by round (empty leaves are
+    skipped).  The *survivor-swap* rule makes the leaf with the larger
+    R survive each pair (ties break to the smaller index), which keeps
+    leaf 0 — the root by convention — the final survivor and guarantees
+    ``min(r_a + r_b, ncols) <= max(r_a, r_b)`` whenever at most one
+    leaf holds fewer than ``ncols`` rows (true for the block-cyclic
+    panels CAQR feeds in, where only the owner of the short last row
+    block can be deficient).
+    """
+    if ncols < 1:
+        raise ValueError(f"ncols must be >= 1, got {ncols}")
+    tops = {
+        i: min(int(m), ncols)
+        for i, m in enumerate(row_counts)
+        if m > 0
+    }
+    cands = sorted(tops)
+    if not cands:
+        raise ValueError("merge_plan needs at least one non-empty leaf")
+    plan: list[MergeStep] = []
+    while len(cands) > 1:
+        nxt: list[int] = []
+        for i in range(0, len(cands) - 1, 2):
+            a, b = cands[i], cands[i + 1]
+            if tops[b] > tops[a]:
+                a, b = b, a
+            plan.append(MergeStep(a=a, b=b, r_a=tops[a], r_b=tops[b]))
+            tops[a] = min(tops[a] + tops[b], ncols)
+            nxt.append(a)
+        if len(cands) % 2:
+            nxt.append(cands[-1])
+        cands = nxt
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# the implicit tree factorization
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MergeNode:
+    """A merge step plus the reflectors of its stacked-R factorization."""
+
+    step: MergeStep
+    v: np.ndarray  # (r_a + r_b, k) reflectors of the stacked R
+    tau: np.ndarray
+
+
+@dataclass(frozen=True)
+class TsqrFactors:
+    """Implicit Q of a binary-tree TSQR over row blocks.
+
+    ``leaves[i]`` holds leaf i's local Householder factors (``None``
+    for empty leaves); ``nodes`` the merge factorizations in schedule
+    order; ``r`` the final (k, ncols) R factor (k = min(total rows,
+    ncols)), living logically in the top rows left by the merge
+    schedule — leaf 0's first k rows whenever leaf 0 holds at least
+    ``ncols`` rows (always true in CAQR), spilling into later blocks
+    only when it is shorter.
+    """
+
+    row_counts: tuple[int, ...]
+    ncols: int
+    leaves: tuple[tuple[np.ndarray, np.ndarray] | None, ...]
+    nodes: tuple[MergeNode, ...]
+    r: np.ndarray
+
+    @property
+    def total_rows(self) -> int:
+        return int(sum(self.row_counts))
+
+    def _block_indices(
+        self, block_rows: list[np.ndarray] | None
+    ) -> list[np.ndarray]:
+        if block_rows is None:
+            offsets = np.concatenate(
+                ([0], np.cumsum(self.row_counts))
+            )
+            return [
+                np.arange(offsets[i], offsets[i + 1])
+                for i in range(len(self.row_counts))
+            ]
+        if len(block_rows) != len(self.row_counts):
+            raise ValueError(
+                f"{len(block_rows)} row blocks for "
+                f"{len(self.row_counts)} leaves"
+            )
+        for i, rows in enumerate(block_rows):
+            if len(rows) != self.row_counts[i]:
+                raise ValueError(
+                    f"leaf {i}: {len(rows)} rows given, expected "
+                    f"{self.row_counts[i]}"
+                )
+        return [np.asarray(rows) for rows in block_rows]
+
+    def _top_sequences(
+        self, idx: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Stacked row-index vector entering each merge node, in order."""
+        stacks, _ = self._walk_tops(idx)
+        return stacks
+
+    def _walk_tops(
+        self, idx: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Per-node stacked row indices plus the final R row indices."""
+        tops = {
+            i: idx[i][: min(len(idx[i]), self.ncols)]
+            for i in range(len(idx))
+            if len(idx[i])
+        }
+        root = min(tops)
+        stacks = []
+        for node in self.nodes:
+            s = node.step
+            stack = np.concatenate([tops[s.a], tops[s.b]])
+            stacks.append(stack)
+            tops[s.a] = stack[: min(len(stack), self.ncols)]
+            del tops[s.b]
+            root = s.a
+        return stacks, tops[root]
+
+    def apply_qt(
+        self,
+        b: np.ndarray,
+        block_rows: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Q^T B for a B whose rows conform to the factored panel.
+
+        ``block_rows`` maps leaves to row-index arrays of ``b`` (by
+        default leaves are contiguous in order).  This is the CAQR
+        trailing update B -> Q^T B.
+        """
+        out = np.array(b, dtype=np.float64, copy=True)
+        idx = self._block_indices(block_rows)
+        for i, leaf in enumerate(self.leaves):
+            if leaf is None:
+                continue
+            v, tau = leaf
+            out[idx[i]] = apply_qt(v, tau, out[idx[i]])
+        for node, stack in zip(self.nodes, self._top_sequences(idx)):
+            out[stack] = apply_qt(node.v, node.tau, out[stack])
+        return out
+
+    def apply_q(
+        self,
+        b: np.ndarray,
+        block_rows: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Q B — the transforms of :meth:`apply_qt`, inverted."""
+        out = np.array(b, dtype=np.float64, copy=True)
+        idx = self._block_indices(block_rows)
+        stacks = self._top_sequences(idx)
+        for node, stack in zip(reversed(self.nodes), reversed(stacks)):
+            out[stack] = apply_q(node.v, node.tau, out[stack])
+        for i, leaf in enumerate(self.leaves):
+            if leaf is None:
+                continue
+            v, tau = leaf
+            out[idx[i]] = apply_q(v, tau, out[idx[i]])
+        return out
+
+    def build_q(self) -> np.ndarray:
+        """Explicit thin Q (total_rows, k) of the stacked panel."""
+        m = self.total_rows
+        k = min(m, self.ncols)
+        idx = self._block_indices(None)
+        _, top = self._walk_tops(idx)
+        e = np.zeros((m, k))
+        # R lives in the logical top rows left by the merge schedule.
+        e[top[:k], np.arange(k)] = 1.0
+        return self.apply_q(e)
+
+
+def tsqr(blocks: list[np.ndarray]) -> TsqrFactors:
+    """Binary-tree TSQR of the matrix formed by stacking ``blocks``.
+
+    Blocks may be empty (0 rows) and must share a column count.  The
+    survivor-swap schedule roots the tree at the leaf with the largest
+    R (ties to the lowest index), so the final R lives in leaf 0's top
+    rows whenever leaf 0 holds at least ``ncols`` rows; the index-list
+    apply/build machinery handles shorter leaf-0 cases too, where the
+    logical R rows may span blocks.
+    """
+    if not blocks:
+        raise ValueError("tsqr needs at least one block")
+    arrays = [np.asarray(b, dtype=np.float64) for b in blocks]
+    ncols = arrays[0].shape[1]
+    for b in arrays:
+        if b.ndim != 2 or b.shape[1] != ncols:
+            raise ValueError(
+                f"all blocks must be 2D with {ncols} columns, got "
+                f"{b.shape}"
+            )
+    row_counts = tuple(b.shape[0] for b in arrays)
+    if sum(row_counts) == 0:
+        raise ValueError("tsqr needs at least one non-empty block")
+
+    leaves: list[tuple[np.ndarray, np.ndarray] | None] = []
+    rs: dict[int, np.ndarray] = {}
+    for i, b in enumerate(arrays):
+        if b.shape[0] == 0:
+            leaves.append(None)
+            continue
+        v, tau, r = householder_qr(b)
+        leaves.append((v, tau))
+        rs[i] = r
+
+    nodes: list[MergeNode] = []
+    root = min(rs)
+    for step in merge_plan(list(row_counts), ncols):
+        stacked = np.vstack([rs[step.a], rs[step.b]])
+        v, tau, r = householder_qr(stacked)
+        nodes.append(MergeNode(step=step, v=v, tau=tau))
+        rs[step.a] = r
+        del rs[step.b]
+        root = step.a
+    return TsqrFactors(
+        row_counts=row_counts,
+        ncols=ncols,
+        leaves=tuple(leaves),
+        nodes=tuple(nodes),
+        r=rs[root],
+    )

@@ -274,3 +274,135 @@ def candmc_sim_total_bytes(
             candmc_sim_step_breakdown(n, p, grid_rows, c, v, t).values()
         )
     return total * element_size
+
+
+# ---------------------------------------------------------------------------
+# QR models: 2.5D CAQR and the 2D Householder baseline
+# ---------------------------------------------------------------------------
+
+def caqr25d_step_breakdown(
+    n: int,
+    grid_rows: int,
+    layers: int,
+    v: int,
+    t: int,
+) -> dict[str, float]:
+    """Element counts moved in step ``t`` of the 2.5D CAQR, by phase
+    (names match the simulator ledger; see ``algorithms/caqr25d.py``).
+
+    With L_t non-empty TSQR leaves (L_t = min(G, remaining row
+    blocks)), active rows n_t and trailing columns w_t:
+
+    ==============  ====================================================
+    tsqr_tree       (L_t - 1) w^2            — R factors up the tree
+    panel_bcast     (Gc - 1)(n_t w + n_t' + (L_t - 1)(2w^2 + w))
+                                             — leaf + merge reflectors
+    tree_apply      2 (L_t - 1) w w_t        — trailing row exchanges
+    ==============  ====================================================
+    """
+    g, c = grid_rows, layers
+    n_t = n - t * v
+    if n_t <= 0:
+        return {}
+    w = min(v, n_t)
+    w_t = max(n - (t + 1) * v, 0)
+    blocks = math.ceil(n / v)
+    leaves = min(g, blocks - t)
+    taus = min(n_t, leaves * w)
+    return {
+        "tsqr_tree": (leaves - 1) * w * w,
+        "panel_bcast": (g * c - 1)
+        * (n_t * w + taus + (leaves - 1) * (2.0 * w * w + w)),
+        "tree_apply": 2.0 * (leaves - 1) * w * w_t,
+    }
+
+
+def caqr25d_total_bytes(
+    n: int,
+    p: int,
+    m: float | None = None,
+    c: int | None = None,
+    v: int | None = None,
+    grid_rows: int | None = None,
+    element_size: int = ELEMENT_SIZE,
+) -> float:
+    """Per-step CAQR model summed over all ceil(N/v) steps.
+
+    Leading order: N^2 (G c + 2 G) / 2 elements — the panel reflector
+    fan-out to the G c column panes plus the tree replay on the
+    trailing matrix.  (A COnfQR-style schedule would cut the panel term
+    by the replication factor; recorded as ROADMAP future work.)
+    """
+    if c is None:
+        if m is None:
+            raise ValueError("need either m or c")
+        c = derive_c_from_memory(n, p, m)
+    if c < 1:
+        raise ValueError(f"c must be >= 1, got {c}")
+    if grid_rows is None:
+        grid_rows = max(1, int(math.isqrt(p // c)))
+    if v is None:
+        v = max(2, min(8, n))
+    total = 0.0
+    for t in range(math.ceil(n / v)):
+        total += sum(
+            caqr25d_step_breakdown(n, grid_rows, c, v, t).values()
+        )
+    return total * element_size
+
+
+def qr2d_step_breakdown(
+    n: int,
+    prows: int,
+    pcols: int,
+    nb: int,
+    t: int,
+) -> dict[str, float]:
+    """Element counts of step ``t`` of the 2D Householder baseline.
+
+    ==============  ====================================================
+    panel_fact      (Pr - 1)(w^2 + 3w)       — per-column all-reduces
+    panel_bcast     (Pc - 1)(n_t w + w)      — reflector slab + taus
+    update_reduce   2 (Pr - 1) w w_t         — per-reflector v^T B
+    ==============  ====================================================
+    """
+    n_t = n - t * nb
+    if n_t <= 0:
+        return {}
+    w = min(nb, n_t)
+    w_t = max(n - (t + 1) * nb, 0)
+    return {
+        "panel_fact": (prows - 1) * (w * w + 3.0 * w),
+        "panel_bcast": (pcols - 1) * (n_t * w + w),
+        "update_reduce": 2.0 * (prows - 1) * w * w_t,
+    }
+
+
+def qr2d_total_bytes(
+    n: int,
+    p: int,
+    m: float = 1.0,
+    nb: int = 16,
+    grid: tuple[int, int] | None = None,
+    element_size: int = ELEMENT_SIZE,
+) -> float:
+    """2D Householder QR volume: ~ N^2 (Pc + 2 Pr) / 2 elements.
+
+    Memory-independent like the 2D LU baselines — the structural reason
+    the 2D decomposition cannot exploit replication.
+    """
+    _check_args(n, p, m)
+    if grid is None:
+        root = math.isqrt(p)
+        while p % root:
+            root -= 1
+        grid = (root, p // root)
+    prows, pcols = grid
+    total = 0.0
+    for t in range(math.ceil(n / nb)):
+        total += sum(qr2d_step_breakdown(n, prows, pcols, nb, t).values())
+    return total * element_size
+
+
+#: QR implementations with volume models (the LU set is MODEL_NAMES).
+QR_MODEL_NAMES = ("qr2d", "caqr25d")

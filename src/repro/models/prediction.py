@@ -13,7 +13,10 @@ from dataclasses import dataclass
 
 from repro.models.costmodels import (
     MODEL_NAMES,
+    QR_MODEL_NAMES,
+    caqr25d_total_bytes,
     model_by_name,
+    qr2d_total_bytes,
 )
 
 
@@ -82,6 +85,54 @@ def sweep_models(
         else:
             out[name] = model.total_bytes(n, p, m)
     return out
+
+
+def sweep_qr_models(
+    n: int,
+    p: int,
+    m: float | None = None,
+    v: int | None = None,
+    nb: int = 16,
+    names: tuple[str, ...] = QR_MODEL_NAMES,
+) -> dict[str, float]:
+    """Total modeled bytes for each QR implementation at one (N, P).
+
+    ``qr2d`` is memory-independent like the 2D LU baselines;
+    ``caqr25d`` derives its [G, G, c] grid from ``m``.  The memory
+    default caps replication at c = 2: the pane-partitioned CAQR's
+    leading term N^2 (sqrt(P c) + 2 sqrt(P / c)) / 2 is minimized at
+    exactly c = 2, and deeper replication *adds* panel fan-out until a
+    COnfQR-style schedule cuts that term (ROADMAP future work).
+    """
+    if m is None:
+        c = min(2, choose_c_max_replication(p, n))
+        m = algorithmic_memory(n, p, c)
+    table: dict[str, float] = {}
+    for name in names:
+        if name == "caqr25d":
+            table[name] = caqr25d_total_bytes(n, p, m=m, v=v)
+        elif name == "qr2d":
+            table[name] = qr2d_total_bytes(n, p, m, nb=nb)
+        else:
+            raise KeyError(
+                f"unknown QR model {name!r}; choose from {QR_MODEL_NAMES}"
+            )
+    return table
+
+
+def qr_reduction_vs_2d(
+    n: int, p: int, m: float | None = None
+) -> float:
+    """Modeled communication reduction of 2.5D CAQR over the 2D
+    Householder baseline: qr2d volume / caqr25d volume.
+
+    At the c = 2 optimum the leading terms are 2 sqrt(2 P) vs the
+    square 2D grid's 3 sqrt(P) — a modest ~1.06x asymptotically, plus
+    whatever the 2D baseline loses to skewed grids; the structural
+    (c-scaling) win is the COnfQR follow-on recorded in the ROADMAP.
+    """
+    volumes = sweep_qr_models(n, p, m)
+    return volumes["qr2d"] / volumes["caqr25d"]
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,8 @@ from repro.theory.bounds import (
     mmm_parallel_lower_bound,
     cholesky_io_lower_bound,
     conflux_io_cost,
+    qr_io_lower_bound,
+    qr_parallel_lower_bound,
 )
 
 __all__ = [
@@ -73,6 +75,8 @@ __all__ = [
     "output_reuse_access_size",
     "program_lower_bound",
     "psi_of_x",
+    "qr_io_lower_bound",
+    "qr_parallel_lower_bound",
     "statement_bound",
     "tensor_contraction_program",
 ]

@@ -79,6 +79,33 @@ def cholesky_io_lower_bound(n: int, m: float) -> float:
     return n**3 / (3.0 * math.sqrt(m))
 
 
+def qr_io_lower_bound(n: int, m: float) -> float:
+    """Householder QR: Q >= 4 N^3 / (3 sqrt(M)).
+
+    The trailing update A <- (I - tau v v^T) A of reflector k touches
+    the same i > k, j > k wedge as LU's Schur complement but performs
+    *two* multiplications per (i, j, k) point (v_i (v^T A)_j on top of
+    the rank-1 AXPY), i.e. ~ 2 N^3 / 3 multiplications against LU's
+    N^3 / 3.  With the same per-statement intensity rho = sqrt(M) / 2
+    (Ballard et al.'s CA-QR analysis matches the paper's Lemma 2
+    machinery on this nest), the bound is twice LU's leading term.
+    """
+    _check(n, m)
+    return 4.0 * n**3 / (3.0 * math.sqrt(m))
+
+
+def qr_parallel_lower_bound(n: int, m: float, p: int) -> float:
+    """Parallel QR bound (Lemma 9 style): 4 N^3 / (3 P sqrt(M)).
+
+    Unlike LU there is no separate "leading" variant — the QR bound we
+    derive is a single leading-order term (no S1-style column-update
+    correction has been worked out for the reflector nest).
+    """
+    if p < 1:
+        raise ValueError(f"P must be >= 1, got {p}")
+    return qr_io_lower_bound(n, m) / p
+
+
 def conflux_io_cost(n: int, m: float, p: int) -> float:
     """Leading-order COnfLUX cost per processor: N^3 / (P sqrt(M)).
 

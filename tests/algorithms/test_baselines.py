@@ -171,6 +171,8 @@ class TestRegistry:
             "candmc25d",
             "cholesky25d",
             "mmm25d",
+            "caqr25d",
+            "qr2d",
         }
 
     @pytest.mark.parametrize(

@@ -1,0 +1,94 @@
+"""Shared test fixtures: adversarial matrix generators.
+
+Three classic stress families, used by the cross-algorithm differential
+matrix (``tests/algorithms/test_differential.py``) and the tournament
+pivoting growth checks (``tests/kernels/test_tournament.py``):
+
+* **ill-conditioned** — geometrically decaying singular values between
+  random orthogonal factors: exercises residual/orthogonality claims
+  where naive schemes (Gram-Schmidt, normal equations) lose digits;
+* **Kahan** — the rank-revealing-hostile upper triangular matrix whose
+  trailing singular value QR-with-column-pivoting famously misjudges;
+* **Wilkinson growth** — the classic GEPP pivot-growth matrix
+  (unit diagonal, -1 below, ones in the last column): partial pivoting
+  takes no swaps and the last column doubles every step, growth
+  2^(n-1).
+
+The generators are plain functions wrapped in factory fixtures so tests
+pick their own sizes/conditioning without materializing every variant.
+"""
+
+import numpy as np
+import pytest
+
+
+def make_ill_conditioned(
+    n: int, cond: float = 1e6, seed: int = 0
+) -> np.ndarray:
+    """Dense matrix with geometric singular values 1 .. 1/cond."""
+    rng = np.random.default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    s = np.logspace(0.0, -np.log10(cond), n)
+    return (u * s) @ v.T
+
+
+def make_kahan(n: int, theta: float = 1.2) -> np.ndarray:
+    """Kahan's matrix: R_n(theta) = diag(s^i) (I - c U) with U strictly
+    upper ones, c = cos(theta), s = sin(theta)."""
+    c, s = np.cos(theta), np.sin(theta)
+    a = np.eye(n) - c * np.triu(np.ones((n, n)), 1)
+    return (s ** np.arange(n))[:, None] * a
+
+
+def make_wilkinson_growth(n: int) -> np.ndarray:
+    """The GEPP worst case: growth factor exactly 2^(n-1)."""
+    a = np.eye(n) - np.tril(np.ones((n, n)), -1)
+    a[:, -1] = 1.0
+    return a
+
+
+def make_spd(base: np.ndarray) -> np.ndarray:
+    """SPD-ify a stress matrix for the Cholesky rows of the
+    differential matrix: B B^T plus a diagonal shift."""
+    n = base.shape[0]
+    return base @ base.T + n * np.eye(n)
+
+
+#: Named adversarial generators for parametrized differential tests.
+ADVERSARIAL_CASES = {
+    "gaussian": lambda n: np.random.default_rng(0).standard_normal((n, n)),
+    "ill_conditioned": lambda n: make_ill_conditioned(n, cond=1e6, seed=1),
+    "kahan": make_kahan,
+    "wilkinson_growth": make_wilkinson_growth,
+}
+
+
+@pytest.fixture
+def adversarial_case():
+    """Factory fixture: ``build(name, n)`` -> a fresh stress matrix."""
+
+    def build(name: str, n: int) -> np.ndarray:
+        return ADVERSARIAL_CASES[name](n).copy()
+
+    return build
+
+
+@pytest.fixture
+def ill_conditioned():
+    return make_ill_conditioned
+
+
+@pytest.fixture
+def kahan_matrix():
+    return make_kahan
+
+
+@pytest.fixture
+def wilkinson_growth():
+    return make_wilkinson_growth
+
+
+@pytest.fixture
+def spd_of():
+    return make_spd

@@ -134,3 +134,33 @@ class TestReporting:
     def test_empty_table(self):
         text = format_table([], [("a", "A")])
         assert "A" in text
+
+
+class TestQrHarness:
+    def test_qr_specs_registered(self):
+        from repro.harness.specs import SPECS, named_spec
+
+        for name in ("qr-strong", "qr-weak", "qr-lower-bound-gap"):
+            assert name in SPECS
+            assert len(named_spec(name).points()) > 0
+
+    @pytest.mark.parametrize("impl", ["qr2d", "caqr25d"])
+    def test_qr_impls_run_and_predict(self, impl):
+        rec = run_experiment(impl, 48, 4, seed=0)
+        assert rec.residual < 1e-10
+        assert 80.0 < rec.prediction_pct < 120.0
+
+    def test_qr_gap_task_within_constant_of_bound(self):
+        from repro.harness.specs import qr_lower_bound_gap_task
+
+        row = qr_lower_bound_gap_task(48, 8, seed=0)
+        assert 1.0 < row["gap"] <= 4.0
+
+    def test_qr_pick_params(self):
+        from repro.harness.runner import pick_params
+
+        params = pick_params("caqr25d", 256, 16)
+        g, gg, c = params["grid"]
+        assert g == gg and g * g * c <= 16
+        assert params["v"] >= 2
+        assert pick_params("qr2d", 256, 16)["nb"] == 16

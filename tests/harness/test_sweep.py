@@ -275,6 +275,13 @@ class TestSpecsMatchRunner:
 
         assert DEFAULT_IMPLS == IMPLEMENTATION_NAMES
 
+    def test_qr_impls_track_runner_and_models(self):
+        from repro.harness.runner import QR_IMPLEMENTATION_NAMES
+        from repro.harness.specs import QR_IMPLS
+        from repro.models.costmodels import QR_MODEL_NAMES
+
+        assert QR_IMPLS == QR_IMPLEMENTATION_NAMES == QR_MODEL_NAMES
+
     def test_block_size_spec_rows_match_direct_run(self):
         res = run_sweep(block_size_spec(v_values=(4,)))
         row = res.rows()[0]

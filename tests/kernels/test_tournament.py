@@ -149,6 +149,71 @@ class TestTournament:
         assert worst_ratio < 50.0  # generous, catches instability only
 
 
+class TestAdversarialGrowth:
+    """Element-growth checks on the shared adversarial fixtures
+    (tests/conftest.py) — the Grigori et al. stability claim probed on
+    the classic worst case, not just random panels."""
+
+    def test_gepp_explodes_on_wilkinson(self, wilkinson_growth):
+        n = 24
+        a = wilkinson_growth(n)
+        lu, _ = lu_partial_pivot(a)
+        assert growth_factor(a, np.triu(lu)) == pytest.approx(
+            2.0 ** (n - 1)
+        )
+
+    def test_tournament_lu_bounds_growth_where_gepp_explodes(
+        self, wilkinson_growth
+    ):
+        """On the Wilkinson matrix, GEPP's no-swap tie-breaking feeds
+        the 2^(n-1) cascade; the chunked tournament selects the same
+        pivot *rows* in a different order, which breaks the doubling.
+        Measured via the full tournament-pivoted LU (conflux)."""
+        from repro.algorithms import conflux_lu
+
+        n = 16
+        a = wilkinson_growth(n)
+        lu, _ = lu_partial_pivot(a)
+        g_pp = growth_factor(a, np.triu(lu))
+        res = conflux_lu(a, 4, grid=(2, 2, 1), v=4)
+        g_t = growth_factor(a, res.upper)
+        assert g_pp == pytest.approx(2.0 ** (n - 1))  # GEPP explodes
+        assert g_t <= 8.0  # tournament stays bounded
+        assert res.residual <= 1e-10
+
+    def test_tournament_growth_small_on_kahan(self, kahan_matrix):
+        from repro.algorithms import conflux_lu
+
+        a = kahan_matrix(16)
+        res = conflux_lu(a, 4, grid=(2, 2, 1), v=4)
+        assert growth_factor(a, res.upper) <= 4.0
+        assert res.residual <= 1e-10
+
+    def test_tournament_growth_small_on_ill_conditioned(
+        self, ill_conditioned
+    ):
+        from repro.algorithms import conflux_lu
+
+        a = ill_conditioned(16, cond=1e6, seed=2)
+        res = conflux_lu(a, 4, grid=(2, 2, 1), v=4)
+        assert growth_factor(a, res.upper) <= 16.0
+        assert res.residual <= 1e-10
+
+    def test_panel_tournament_growth_bounded_on_wilkinson(
+        self, wilkinson_growth
+    ):
+        """Kernel-level: the first-panel tournament block factors with
+        no growth at any chunking (the cascade needs the last column,
+        which no early panel contains)."""
+        n, v = 32, 4
+        a = wilkinson_growth(n)
+        for nchunks in (1, 2, 4, 8):
+            _, a00_lu, _ = tournament_pivot_rows(
+                a[:, :v], np.arange(n), v, nchunks=nchunks
+            )
+            assert growth_factor(a[:, :v], np.triu(a00_lu)) <= 1.0
+
+
 class TestPropertyBased:
     @settings(max_examples=25, deadline=None)
     @given(

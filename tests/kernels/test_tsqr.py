@@ -1,0 +1,190 @@
+"""Tests for the TSQR kernels (Householder panels + binary merge tree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    apply_q,
+    apply_qt,
+    householder_qr,
+    merge_plan,
+    thin_q,
+    tsqr,
+)
+
+
+def _rand(m, n, seed=0):
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+class TestHouseholderQR:
+    @pytest.mark.parametrize("m,n", [(8, 4), (4, 4), (3, 5), (12, 1), (1, 1)])
+    def test_reconstructs_input(self, m, n):
+        a = _rand(m, n, seed=m * 10 + n)
+        v, tau, r = householder_qr(a)
+        q = thin_q(v, tau)
+        np.testing.assert_allclose(q @ r, a, atol=1e-12)
+
+    def test_thin_q_orthonormal(self):
+        v, tau, _ = householder_qr(_rand(16, 5, seed=3))
+        q = thin_q(v, tau)
+        np.testing.assert_allclose(q.T @ q, np.eye(5), atol=1e-13)
+
+    def test_r_upper_trapezoidal(self):
+        _, _, r = householder_qr(_rand(10, 6, seed=4))
+        assert r.shape == (6, 6)
+        np.testing.assert_array_equal(np.tril(r, -1), 0.0)
+
+    def test_matches_numpy_up_to_signs(self):
+        a = _rand(12, 4, seed=5)
+        _, _, r = householder_qr(a)
+        r_ref = np.linalg.qr(a, mode="r")
+        np.testing.assert_allclose(np.abs(r), np.abs(r_ref), atol=1e-11)
+
+    def test_reflectors_unit_lower(self):
+        v, _, _ = householder_qr(_rand(8, 3, seed=6))
+        np.testing.assert_array_equal(np.triu(v, 1)[:3, :], 0.0)
+        np.testing.assert_allclose(np.diag(v[:3, :]), 1.0)
+
+    def test_apply_roundtrip(self):
+        v, tau, _ = householder_qr(_rand(9, 4, seed=7))
+        b = _rand(9, 6, seed=8)
+        np.testing.assert_allclose(
+            apply_q(v, tau, apply_qt(v, tau, b)), b, atol=1e-12
+        )
+
+    def test_already_triangular_is_identity_transform(self):
+        r0 = np.triu(_rand(4, 4, seed=9))
+        v, tau, r = householder_qr(r0)
+        np.testing.assert_array_equal(tau, 0.0)
+        np.testing.assert_allclose(r, r0, atol=1e-15)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError, match="matrix"):
+            householder_qr(np.zeros(4))
+
+
+class TestMergePlan:
+    def test_power_of_two_tree(self):
+        plan = merge_plan([8, 8, 8, 8], 4)
+        assert [(s.a, s.b) for s in plan] == [(0, 1), (2, 3), (0, 2)]
+
+    def test_root_is_final_survivor(self):
+        for counts in ([8] * 5, [8, 8, 8], [8], [8, 2, 8, 8]):
+            plan = merge_plan(list(counts), 4)
+            if plan:
+                assert plan[-1].a == 0
+
+    def test_short_leaf_never_survives(self):
+        plan = merge_plan([8, 8, 2, 8], 4)
+        merged_aways = {s.b for s in plan}
+        assert 2 in merged_aways
+        survivors = {s.a for s in plan}
+        assert 2 not in survivors
+
+    def test_empty_leaves_skipped(self):
+        plan = merge_plan([8, 0, 0, 8], 4)
+        assert [(s.a, s.b) for s in plan] == [(0, 3)]
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            merge_plan([0, 0], 4)
+
+    def test_bad_ncols_rejected(self):
+        with pytest.raises(ValueError, match="ncols"):
+            merge_plan([4], 0)
+
+
+class TestTsqr:
+    @pytest.mark.parametrize(
+        "counts", [(8, 8, 8, 8), (8, 0, 8, 4), (10, 3, 0, 7), (4,), (2, 3)]
+    )
+    def test_factorization_correct(self, counts):
+        w = 4
+        blocks = [_rand(m, w, seed=17 + i) for i, m in enumerate(counts)]
+        a = np.vstack(blocks)
+        f = tsqr(blocks)
+        q = f.build_q()
+        k = min(a.shape[0], w)
+        np.testing.assert_allclose(q @ f.r, a, atol=1e-12)
+        np.testing.assert_allclose(q.T @ q, np.eye(k), atol=1e-12)
+
+    def test_r_matches_numpy_up_to_signs(self):
+        blocks = [_rand(6, 3, seed=s) for s in (1, 2, 3)]
+        f = tsqr(blocks)
+        r_ref = np.linalg.qr(np.vstack(blocks), mode="r")
+        np.testing.assert_allclose(np.abs(f.r), np.abs(r_ref), atol=1e-11)
+
+    def test_apply_qt_matches_explicit_q(self):
+        blocks = [_rand(m, 4, seed=20 + m) for m in (8, 4, 8)]
+        a = np.vstack(blocks)
+        f = tsqr(blocks)
+        b = _rand(a.shape[0], 5, seed=30)
+        q_full = f.apply_q(np.eye(a.shape[0]))
+        np.testing.assert_allclose(f.apply_qt(b), q_full.T @ b, atol=1e-11)
+        np.testing.assert_allclose(f.apply_q(f.apply_qt(b)), b, atol=1e-11)
+
+    def test_apply_with_explicit_block_rows(self):
+        """Non-contiguous row placement (the CAQR layout) conforms."""
+        blocks = [_rand(4, 2, seed=40), _rand(4, 2, seed=41)]
+        f = tsqr(blocks)
+        rows = [np.arange(0, 8, 2), np.arange(1, 8, 2)]  # interleaved
+        b = np.zeros((8, 3))
+        b[rows[0]] = _rand(4, 3, seed=42)
+        b[rows[1]] = _rand(4, 3, seed=43)
+        stacked = np.vstack([b[rows[0]], b[rows[1]]])
+        expected = f.apply_qt(stacked)
+        out = f.apply_qt(b, block_rows=rows)
+        np.testing.assert_allclose(out[rows[0]], expected[:4], atol=1e-12)
+        np.testing.assert_allclose(out[rows[1]], expected[4:], atol=1e-12)
+
+    def test_block_rows_shape_mismatch_rejected(self):
+        f = tsqr([_rand(4, 2, seed=50), _rand(4, 2, seed=51)])
+        with pytest.raises(ValueError, match="rows"):
+            f.apply_qt(np.zeros((8, 2)), block_rows=[np.arange(3),
+                                                     np.arange(3, 8)])
+
+    def test_single_block_reduces_to_householder(self):
+        a = _rand(10, 4, seed=60)
+        f = tsqr([a])
+        _, _, r_ref = householder_qr(a)
+        np.testing.assert_allclose(f.r, r_ref, atol=1e-13)
+        assert f.nodes == ()
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            tsqr([_rand(4, 2), _rand(4, 3)])
+
+    def test_no_blocks_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            tsqr([])
+        with pytest.raises(ValueError, match="non-empty"):
+            tsqr([np.zeros((0, 3))])
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nblocks=st.integers(min_value=1, max_value=5),
+        w=st.integers(min_value=1, max_value=5),
+        mult=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_tsqr_invariants(self, nblocks, w, mult, seed):
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, w * mult + 1, size=nblocks)
+        if counts.sum() == 0:
+            counts[0] = w
+        # Arbitrary block heights — including several short leaves (the
+        # index-list tops handle R rows spilling across blocks, a case
+        # the distributed CAQR excludes by construction).
+        blocks = [rng.standard_normal((int(m), w)) for m in counts]
+        a = np.vstack(blocks)
+        f = tsqr(blocks)
+        q = f.build_q()
+        k = min(a.shape[0], w)
+        np.testing.assert_allclose(q @ f.r, a, atol=1e-9)
+        np.testing.assert_allclose(q.T @ q, np.eye(k), atol=1e-9)
+        np.testing.assert_array_equal(np.tril(f.r, -1), 0.0)

@@ -163,3 +163,50 @@ class TestAlgorithmicMemory:
     def test_validation(self):
         with pytest.raises(ValueError):
             algorithmic_memory(4096, 64, 0)
+
+
+class TestQrModels:
+    def test_sweep_qr_models_keys_and_positivity(self):
+        from repro.models.prediction import sweep_qr_models
+
+        volumes = sweep_qr_models(4096, 64)
+        assert set(volumes) == {"qr2d", "caqr25d"}
+        assert all(v > 0 for v in volumes.values())
+
+    def test_caqr_beats_2d_baseline_across_scales(self):
+        from repro.models.prediction import qr_reduction_vs_2d
+
+        for n, p in [(4096, 16), (4096, 64), (16384, 1024)]:
+            assert qr_reduction_vs_2d(n, p) > 1.0
+
+    def test_qr2d_is_memory_independent(self):
+        from repro.models.prediction import sweep_qr_models
+
+        lo = sweep_qr_models(4096, 64, m=1.0)["qr2d"]
+        hi = sweep_qr_models(4096, 64, m=1e9)["qr2d"]
+        assert lo == hi
+
+    def test_caqr_leading_order(self):
+        """Sum of per-step terms converges to
+        N^2 ((Gc - 1) + 2(G - 1)) / 2 elements at large N (taus and
+        tree R factors are lower order)."""
+        from repro.models.costmodels import caqr25d_total_bytes
+
+        n, g, c, v = 16384, 8, 2, 16
+        total = caqr25d_total_bytes(n, g * g * c, c=c, v=v, grid_rows=g)
+        leading = n**2 * ((g * c - 1) + 2 * (g - 1)) / 2.0 * 8
+        assert total / leading == pytest.approx(1.0, rel=0.05)
+
+    def test_qr2d_leading_order(self):
+        from repro.models.costmodels import qr2d_total_bytes
+
+        n, pr, pc, nb = 16384, 8, 8, 32
+        total = qr2d_total_bytes(n, pr * pc, nb=nb, grid=(pr, pc))
+        leading = n**2 * ((pc - 1) + 2 * (pr - 1)) / 2.0 * 8
+        assert total / leading == pytest.approx(1.0, rel=0.05)
+
+    def test_unknown_qr_model_rejected(self):
+        from repro.models.prediction import sweep_qr_models
+
+        with pytest.raises(KeyError, match="unknown QR model"):
+            sweep_qr_models(1024, 16, names=("conflux",))

@@ -42,6 +42,26 @@ class TestFactorCommand:
         assert rc == 0
         assert "block=8" in capsys.readouterr().out
 
+    def test_caqr_reports_orthogonality(self, capsys):
+        rc = main(
+            ["factor", "--impl", "caqr25d", "--n", "32", "--p", "4",
+             "--v", "4"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "caqr25d" in out
+        assert "orthogonality" in out
+
+    def test_qr2d_verbose_phases(self, capsys):
+        rc = main(
+            ["factor", "--impl", "qr2d", "--n", "32", "--p", "4",
+             "--nb", "8", "--verbose"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "panel_bcast" in out
+        assert "update_reduce" in out
+
     def test_unknown_impl_rejected(self):
         with pytest.raises(SystemExit):
             main(["factor", "--impl", "mkl"])
@@ -104,8 +124,18 @@ class TestSweepCommand:
         rc = main(["sweep", "--list"])
         out = capsys.readouterr().out
         assert rc == 0
-        for name in ("table2", "fig6a", "fig7", "lower-bound-gap"):
+        for name in ("table2", "fig6a", "fig7", "lower-bound-gap",
+                     "qr-strong", "qr-weak", "qr-lower-bound-gap"):
             assert name in out
+
+    def test_qr_gap_sweep_runs(self, capsys, tmp_path):
+        rc = main(["sweep", "--run", "qr-lower-bound-gap",
+                   "--max-points", "1", "--workers", "1",
+                   "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 computed" in out
+        assert "gap" in out
 
     def test_run_then_resume_hits_cache(self, capsys, tmp_path):
         args = ["sweep", "--run", "table2", "--max-points", "2",

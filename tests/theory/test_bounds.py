@@ -166,3 +166,55 @@ class TestScalingProperties:
         q1 = lu_parallel_lower_bound(n, m, 7)
         q2 = lu_parallel_lower_bound(n, m, 14)
         assert q2 == pytest.approx(q1 / 2.0)
+
+
+class TestQrBound:
+    """The QR I/O lower bound (4 N^3 / (3 sqrt(M)) and its parallel
+    form) sits in fixed ratios to the LU and Cholesky bounds."""
+
+    def test_twice_lu_s2(self):
+        from repro.theory.bounds import qr_io_lower_bound
+
+        n, m = 4096, 1 << 20
+        # Twice LU's leading Schur term (two multiplications per wedge
+        # point), exactly in the leading order.
+        assert qr_io_lower_bound(n, m) == pytest.approx(
+            4.0 * n**3 / (3.0 * math.sqrt(m))
+        )
+        assert qr_io_lower_bound(n, m) == pytest.approx(
+            4.0 * cholesky_io_lower_bound(n, m)
+        )
+
+    def test_parallel_divides_by_p(self):
+        from repro.theory.bounds import (
+            qr_io_lower_bound,
+            qr_parallel_lower_bound,
+        )
+
+        n, m = 1024, 1 << 16
+        assert qr_parallel_lower_bound(n, m, 64) == pytest.approx(
+            qr_io_lower_bound(n, m) / 64
+        )
+
+    def test_validation(self):
+        from repro.theory.bounds import (
+            qr_io_lower_bound,
+            qr_parallel_lower_bound,
+        )
+
+        with pytest.raises(ValueError):
+            qr_io_lower_bound(0, 16)
+        with pytest.raises(ValueError):
+            qr_io_lower_bound(16, 0.5)
+        with pytest.raises(ValueError):
+            qr_parallel_lower_bound(16, 16, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=16, max_value=5_000),
+        m=st.floats(min_value=16.0, max_value=1e6),
+    )
+    def test_more_memory_never_raises_qr_bound(self, n, m):
+        from repro.theory.bounds import qr_io_lower_bound
+
+        assert qr_io_lower_bound(n, 2 * m) <= qr_io_lower_bound(n, m) + 1e-9
