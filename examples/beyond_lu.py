@@ -20,7 +20,7 @@ import sys
 
 import numpy as np
 
-from repro.algorithms import cholesky25d_lu, conflux_lu, mmm25d
+from repro.algorithms import factor, mmm25d
 from repro.models.prediction import algorithmic_memory
 from repro.theory.bounds import (
     cholesky_io_lower_bound,
@@ -46,7 +46,7 @@ def main() -> None:
 
     # LU (COnfLUX)
     a = rng.standard_normal((n, n))
-    lu = conflux_lu(a, p_active, grid=(g, g, c), v=max(c, 2))
+    lu = factor("conflux", a, grid=(g, g, c), v=max(c, 2))
     lu_bound = (
         lu_parallel_lower_bound_leading(n, m, p_active) * p_active * 8
     )
@@ -56,7 +56,7 @@ def main() -> None:
 
     # Cholesky
     spd = a @ a.T + n * np.eye(n)
-    chol = cholesky25d_lu(spd, p_active, grid=(g, g, c), v=max(c, 2))
+    chol = factor("cholesky25d", spd, grid=(g, g, c), v=max(c, 2))
     chol_bound = cholesky_io_lower_bound(n, m) * 8
     print(f"{'Cholesky':<12} {chol.residual:>10.1e} "
           f"{chol.volume.total_bytes:>14,} {chol_bound:>14,.0f} "

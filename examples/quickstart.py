@@ -15,7 +15,7 @@ import sys
 
 import numpy as np
 
-from repro.algorithms import conflux_lu, scalapack2d_lu
+from repro.algorithms import factor
 from repro.models.prediction import algorithmic_memory
 from repro.theory.bounds import lu_parallel_lower_bound_leading
 
@@ -32,7 +32,7 @@ def main() -> None:
 
     print(f"Factoring a {n} x {n} matrix on {p} simulated ranks...\n")
 
-    conflux = conflux_lu(a, p)
+    conflux = factor("conflux", a, p)
     g, _, c = conflux.grid
     print(f"COnfLUX      grid=[{g}, {g}, {c}]  v={conflux.block}")
     print(f"  residual   ||PA - LU|| / ||A|| = {conflux.residual:.2e}")
@@ -57,7 +57,7 @@ def main() -> None:
           f"at this small N)")
 
     # The 2D baseline for contrast.
-    baseline = scalapack2d_lu(a, p)
+    baseline = factor("scalapack2d", a, p)
     print(f"\nScaLAPACK-2D grid={baseline.grid}  nb={baseline.block}")
     print(f"  residual   {baseline.residual:.2e}")
     print(f"  volume     {baseline.volume.total_bytes:,} bytes total")

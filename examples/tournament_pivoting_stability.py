@@ -15,7 +15,7 @@ import sys
 
 import numpy as np
 
-from repro.algorithms import conflux_lu
+from repro.algorithms import factor
 from repro.kernels import (
     growth_factor,
     lu_partial_pivot,
@@ -33,7 +33,7 @@ def gepp_stats(a: np.ndarray) -> tuple[float, float]:
 
 
 def conflux_stats(a: np.ndarray) -> tuple[float, float]:
-    r = conflux_lu(a, 4, grid=(2, 2, 1), v=8)
+    r = factor("conflux", a, grid=(2, 2, 1), v=8)
     return growth_factor(a, r.upper), r.residual
 
 

@@ -1,5 +1,14 @@
-"""Distributed LU factorizations on the simulated MPI substrate.
+"""Distributed factorizations on the simulated MPI substrate.
 
+The public entry point is the capability-aware registry in
+:mod:`repro.algorithms.api`::
+
+    from repro.algorithms import factor, list_algorithms
+    res = factor("conflux", a, grid=(2, 2, 2), v=4)
+
+* :mod:`repro.algorithms.schedule25d` — the shared [G, G, c] grid
+  choreography (layouts, panel-owner rotation, layer chunking, tag
+  namespaces, reduction/scatter/fetch plans) every 2.5D member runs on.
 * :mod:`repro.algorithms.conflux` — COnfLUX (paper Algorithm 1): the
   2.5D, row-masking, tournament-pivoting near-communication-optimal LU.
 * :mod:`repro.algorithms.scalapack2d` — the LibSci/ScaLAPACK baseline:
@@ -25,13 +34,25 @@ Extensions beyond the paper's evaluation (its stated future work):
 * :mod:`repro.algorithms.qr2d` — the ScaLAPACK-style 2D block-cyclic
   Householder QR baseline (pdgeqrf's schedule).
 
-Every implementation returns a :class:`~repro.algorithms.base.FactorResult`
-carrying assembled global factors, the row permutation, the residual
-``||P A - L U|| / ||A||`` (for QR: ``||A - Q R|| / ||A||`` with the
-orthogonality defect in ``meta``) and the full communication-volume
-report.
+Every factorization returns a
+:class:`~repro.algorithms.base.FactorResult` carrying assembled global
+factors, the row permutation, the residual ``||P A - L U|| / ||A||``
+(for QR: ``||A - Q R|| / ||A||`` with the orthogonality defect in
+``meta``) and the full communication-volume report.
+
+The historical per-algorithm entry points (``conflux_lu``,
+``caqr25d_qr``, ...) remain importable but are deprecated shims over
+:func:`factor`.
 """
 
+from repro.algorithms.api import (
+    AlgorithmInfo,
+    REGISTRY,
+    factor,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+)
 from repro.algorithms.base import (
     FactorCheck,
     FactorResult,
@@ -42,6 +63,7 @@ from repro.algorithms.base import (
     verify_factors,
     verify_qr_factors,
 )
+from repro.algorithms.schedule25d import Rank25D, Schedule25D
 from repro.algorithms.conflux import conflux_lu
 from repro.algorithms.cholesky25d import cholesky25d_lu
 from repro.algorithms.caqr25d import caqr25d_qr
@@ -57,22 +79,30 @@ from repro.algorithms.gridopt import (
 )
 
 __all__ = [
+    "AlgorithmInfo",
     "FactorCheck",
     "FactorResult",
     "FactorVerificationError",
     "GridChoice",
     "IMPLEMENTATIONS",
+    "REGISTRY",
+    "Rank25D",
+    "Schedule25D",
     "candmc25d_lu",
     "caqr25d_qr",
     "check_factors",
     "cholesky25d_lu",
     "choose_grid_2d",
     "conflux_lu",
+    "factor",
     "factor_by_name",
+    "get_algorithm",
+    "list_algorithms",
     "mmm25d",
     "mmm25d_model_bytes",
     "optimize_grid_25d",
     "qr2d_householder",
+    "register_algorithm",
     "scalapack2d_lu",
     "slate2d_lu",
     "verify_factors",

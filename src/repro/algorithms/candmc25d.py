@@ -14,7 +14,8 @@ a 2.5D schedule with the two structural costs COnfLUX's design removes
 2. **Full-width panel replication.** Every rank receives the full
    v-wide A10/A01 panels (CANDMC-style redundant panel storage) even
    though its layer only applies a v/c chunk of the update — a factor-c
-   overhead on the dominant panel-exchange term.
+   overhead on the dominant panel-exchange term.  On the shared
+   schedule this is just ``chunking="replicate"``.
 
 Together the measured leading term lands at roughly (c + 1) x COnfLUX's,
 i.e. ~5x at the paper's replication depth c = P^(1/3) = 4 for P = 64 —
@@ -30,9 +31,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.api import deprecated_alias, register_algorithm
 from repro.algorithms.base import (
     FactorResult,
-    register,
     validate_input_matrix,
     verify_factors,
 )
@@ -40,10 +41,18 @@ from repro.algorithms.conflux import (
     _assemble,
     _ConfluxRank,
     _merge_op,
-    _tag,
+    _TAG_A10_SCATTER,
+    _TAG_A01_SCATTER,
+    _TAG_A10_PANEL,
+    _TAG_A01_PANEL,
 )
 from repro.algorithms.gridopt import optimize_grid_25d
-from repro.kernels.linalg import permutation_from_pivots, trsm_lower_unit, trsm_upper
+from repro.algorithms.schedule25d import StepContext
+from repro.kernels.linalg import (
+    permutation_from_pivots,
+    trsm_lower_unit,
+    trsm_upper,
+)
 from repro.kernels.lu_seq import lu_partial_pivot, split_lu
 from repro.kernels.tournament import PivotCandidates, local_candidates
 from repro.smpi import run_spmd
@@ -61,45 +70,35 @@ class _CandmcRank(_ConfluxRank):
     positions >= (t+1) v — no masking bookkeeping.
     """
 
-    def __init__(self, comm, a: np.ndarray, g: int, c: int, v: int):
-        super().__init__(comm, a, g, c, v)
-        if not self.active:
-            return
+    chunking = "replicate"  # full-width panels to every layer
+
+    def setup(self, a: np.ndarray) -> None:
+        super().setup(a)
         self.orig = np.arange(self.n)  # position -> original row
         self.posof = np.arange(self.n)  # original row -> position
 
-    # CANDMC replicates panels at full width: all layers get everything.
-    def _sender_chunks(self, width: int) -> list[np.ndarray]:
-        return [np.arange(width) for _ in range(self.c)]
-
-    def _step(self, t: int) -> None:
-        comm, gd = self.comm, self.grid
-        g, c, v, n = self.g, self.c, self.v, self.n
-        q = t % g
-        lt = t % c
-        panel_cols = self._panel_cols(t)
-        w = len(panel_cols)
-        start = t * v
-        active_pos = np.arange(start, n)
+    # -- reduce + tournament + bcast, all over *positions* -------------
+    def panel_op(self, ctx: StepContext):
+        comm, gd, sched = self.comm, self.grid, self.sched
+        t, q, lt, w = ctx.t, ctx.q, ctx.lt, ctx.w
+        g = self.g
+        start = t * self.v
+        active_pos = np.arange(start, self.n)
 
         on_panel_col = self.pj == q
-        local_panel_cols = (
-            self.col_g2l[panel_cols] if on_panel_col else None
-        )
         mine = active_pos[(active_pos % g) == self.pi]
         mine_local = self.row_g2l[mine]
 
-        # -- reduce next block column (positions >= start) --------------
         panel_true = None
         if on_panel_col:
-            with comm.phase("reduce_column"):
-                contrib = self.aloc[np.ix_(mine_local, local_panel_cols)]
-                reduced = gd.fiber_comm.reduce(contrib, root=lt)
-            if self.layer == lt:
-                panel_true = reduced
+            contrib = self.aloc[
+                np.ix_(mine_local, self.col_g2l[ctx.panel_cols])
+            ]
+            panel_true = sched.reduce_to_layer(
+                "reduce_column", contrib, lt
+            )
 
-        # -- tournament over positions ----------------------------------
-        if on_panel_col and self.layer == lt:
+        if panel_true is not None:
             with comm.phase("tournament"):
                 cand = local_candidates(panel_true, mine, w)
                 payload = (cand.values, cand.row_ids)
@@ -113,17 +112,26 @@ class _CandmcRank(_ConfluxRank):
         else:
             payload = None
 
-        with comm.phase("bcast_a00"):
-            root = gd.rank_of(0, q, lt)
-            pivot_pos, a00 = gd.grid_comm.bcast(payload, root=root)
+        pivot_pos, a00 = sched.bcast_from(
+            "bcast_a00", payload, (0, q, lt)
+        )
         if self.grid_rank == 0:
             self.a00_blocks.append(
                 (t, self.orig[pivot_pos].copy(), a00.copy())
             )
+        return pivot_pos, a00, panel_true, mine
+
+    # -- swaps + panel exchange + full-width fetch + chunked update ----
+    def trailing_op(self, ctx: StepContext, panel) -> None:
+        gd, sched = self.grid, self.sched
+        g, v, n = self.g, self.v, self.n
+        t, q, lt, w = ctx.t, ctx.q, ctx.lt, ctx.w
+        pivot_pos, a00, panel_true, mine = panel
+        start = t * v
 
         # -- physical row swaps: pivots into positions start..start+w ---
         pivot_orig = self.orig[pivot_pos].copy()
-        trail_local = self._trailing_cols_mask(t)
+        trail_local = sched.trailing_local_cols(t)
         swap_list: list[tuple[int, int]] = []
         for j in range(w):
             x = start + j
@@ -153,10 +161,10 @@ class _CandmcRank(_ConfluxRank):
         value_rows_post = (
             post_of_pre[mine] if panel_true is not None else None
         )
-        recv_plan_a10 = self._scatter_rows(
+        recv_plan_a10 = sched.scatter_rows(
             t,
             phase="scatter_a10",
-            tag=_tag(1, t),
+            tag=sched.tag(_TAG_A10_SCATTER, t),
             row_pool=nonpivot_pos,
             holder=lambda r: gd.rank_of(
                 int(content_from[r]) % g, q, lt
@@ -164,10 +172,10 @@ class _CandmcRank(_ConfluxRank):
             values=panel_true,
             value_rows=value_rows_post,
         )
-        a10_rows = self._assign_1d(nonpivot_pos, self.grid_rank)
+        a10_rows = sched.assign_1d(nonpivot_pos, self.grid_rank)
         _, u00 = split_lu(a00)
         if len(a10_rows):
-            c_rows = self._assemble_rows(recv_plan_a10, a10_rows, w)
+            c_rows = sched.assemble_rows(recv_plan_a10, a10_rows, w)
             a10_vals = trsm_upper(u00, c_rows, side="right")
             self.l_pieces.append(
                 (t, self.orig[a10_rows].copy(), a10_vals)
@@ -183,23 +191,24 @@ class _CandmcRank(_ConfluxRank):
         ]
         pivot_true = None
         if len(my_pivot_pos) and len(trail_local):
-            with comm.phase("reduce_pivot_rows"):
-                contrib = self.aloc[
-                    np.ix_(self.row_g2l[my_pivot_pos], trail_local)
-                ]
-                reduced = gd.fiber_comm.reduce(contrib, root=lt)
-            if self.layer == lt:
-                pivot_true = reduced
+            contrib = self.aloc[
+                np.ix_(self.row_g2l[my_pivot_pos], trail_local)
+            ]
+            pivot_true = sched.reduce_to_layer(
+                "reduce_pivot_rows", contrib, lt
+            )
 
         all_trailing = np.arange((t + 1) * v, n)
-        a01_cols = self._assign_1d(all_trailing, self.grid_rank)
-        assembled_a01 = self._scatter_a01(
+        a01_cols = sched.assign_1d(all_trailing, self.grid_rank)
+        assembled_a01 = sched.scatter_pivot_cols(
             t,
-            pivot_positions_now,
-            pivot_true,
-            my_pivot_pos,
-            trail_cols,
-            a01_cols,
+            phase="scatter_a01",
+            tag=sched.tag(_TAG_A01_SCATTER, t),
+            pivot_ids=pivot_positions_now,
+            pivot_true=pivot_true,
+            my_pivot_rows=my_pivot_pos,
+            my_trail_cols=trail_cols,
+            my_assigned_cols=a01_cols,
         )
         if len(a01_cols):
             a01_vals = trsm_lower_unit(a00, assembled_a01)
@@ -208,14 +217,27 @@ class _CandmcRank(_ConfluxRank):
             a01_vals = np.zeros((w, 0))
 
         # -- full-width panel fetch + chunked Schur update ---------------
-        chunk = self._sender_chunks(w)[self.layer]
-        a10_piece, piece_rows = self._fetch_a10_piece(
-            t, nonpivot_pos, a10_vals, a10_rows, chunk
+        chunk = sched.sender_chunks(w)[self.layer]
+        a10_piece, piece_rows = sched.fetch_rows_piece(
+            t,
+            phase="panel_a10",
+            tag=sched.tag(_TAG_A10_PANEL, t),
+            pool=nonpivot_pos,
+            vals_1d=a10_vals,
+            my_1d_rows=a10_rows,
+            chunk=chunk,
+            need_rows_of=lambda rows, i, j: rows[(rows % g) == i],
         )
-        a01_piece, piece_cols = self._fetch_a01_piece(
-            t, all_trailing, a01_vals, a01_cols, chunk
+        a01_piece, piece_cols = sched.fetch_cols_piece(
+            t,
+            phase="panel_a01",
+            tag=sched.tag(_TAG_A01_PANEL, t),
+            pool=all_trailing,
+            vals_1d=a01_vals,
+            my_1d_cols=a01_cols,
+            chunk=chunk,
         )
-        applied = self._my_chunk(w)
+        applied = sched.my_chunk(w)
         if a10_piece.size and a01_piece.size and len(applied):
             rel = np.searchsorted(chunk, applied)
             rloc = self.row_g2l[piece_rows]
@@ -251,7 +273,7 @@ class _CandmcRank(_ConfluxRank):
         with self.comm.phase("row_swap"):
             mine = self.aloc[lrow, trail_local].copy()
             theirs = self.grid.grid_comm.sendrecv(
-                mine, partner, sendtag=_tag(_TAG_SWAP, t)
+                mine, partner, sendtag=self.sched.tag(_TAG_SWAP, t)
             )
         self.aloc[lrow, trail_local] = theirs
 
@@ -260,8 +282,14 @@ def _candmc_rank_fn(comm, a, g, c, v):
     return _CandmcRank(comm, a, g, c, v).run()
 
 
-@register("candmc25d")
-def candmc25d_lu(
+@register_algorithm(
+    "candmc25d",
+    kind="lu",
+    grid_family="25d",
+    description="CANDMC-like 2.5D LU: row swapping + full-width panel "
+    "replication (~5x COnfLUX's leading term)",
+)
+def _factor_candmc25d(
     a: np.ndarray,
     nranks: int,
     grid: tuple[int, int, int] | None = None,
@@ -311,3 +339,7 @@ def candmc25d_lu(
         residual=residual,
         meta={"active_ranks": g * g * c},
     )
+
+
+#: Deprecated alias — use ``factor("candmc25d", ...)``.
+candmc25d_lu = deprecated_alias("candmc25d_lu", "candmc25d")

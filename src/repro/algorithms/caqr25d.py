@@ -29,6 +29,11 @@ Per step t (panel width w, active rows n_t, trailing columns w_t):
 4.  tree_apply   — leaf Q^T applied locally, then the merge schedule
                    replayed on the trailing columns: 2 (L_t - 1) w w_t
 
+Steps 1-3 are the :meth:`panel_op` hook and step 4 the
+:meth:`trailing_op` hook of the shared :class:`Rank25D` template; the
+block-cyclic pane layout and the two-hop pane broadcast come from
+:class:`Schedule25D`.
+
 Q is returned *explicitly* in the :class:`FactorResult` (``lower`` = Q,
 ``upper`` = R, identity ``perm``): like LAPACK's orgqr, the global Q is
 assembled host-side from the implicit tree reflectors each rank
@@ -40,14 +45,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.api import deprecated_alias, register_algorithm
 from repro.algorithms.base import (
     FactorResult,
     FactorVerificationError,
-    register,
     validate_input_matrix,
     verify_qr_factors,
 )
 from repro.algorithms.gridopt import optimize_grid_25d
+from repro.algorithms.schedule25d import Rank25D, StepContext
 from repro.kernels.tsqr import (
     MergeNode,
     TsqrFactors,
@@ -56,56 +62,29 @@ from repro.kernels.tsqr import (
     merge_plan,
 )
 from repro.layouts.block_cyclic import BlockCyclic1D
-from repro.smpi import ProcessGrid3D, run_spmd
-
-
-def _tag(base: int, t: int) -> int:
-    return base + 8 * t
-
+from repro.smpi import run_spmd
 
 _TAG_TREE_R = 1
 _TAG_TOP = 2
 _TAG_TOP_BACK = 3
 
 
-class _CaqrRank:
-    """Per-rank state of the 2.5D CAQR (one instance per thread)."""
+class _CaqrRank(Rank25D):
+    """Per-rank 2.5D CAQR program on the shared schedule."""
 
-    def __init__(self, comm, a: np.ndarray, g: int, c: int, v: int):
-        self.comm = comm
-        self.n = a.shape[0]
-        self.g = g
-        self.c = c
-        self.v = v
-        self.grid = ProcessGrid3D(comm, g, g, c)
-        self.active = self.grid.active
-        if not self.active:
-            return
-        gd = self.grid
-        self.pi, self.pj, self.layer = gd.row, gd.col, gd.layer
-        n = self.n
-        self.rowmap = BlockCyclic1D(n, g, v)
-        self.colmap = BlockCyclic1D(n, g * c, v)
-        self.slot = self.layer * g + self.pj
-        self.rows_by_grid_row = [
-            self.rowmap.global_indices(i) for i in range(g)
-        ]
-        self.my_rows = self.rows_by_grid_row[self.pi]
-        self.my_cols = self.colmap.global_indices(self.slot)
-        self.col_g2l = np.full(n, -1)
-        self.col_g2l[self.my_cols] = np.arange(len(self.my_cols))
-        self.aloc = a[np.ix_(self.my_rows, self.my_cols)].copy()
+    def setup(self, a: np.ndarray) -> None:
+        sched = self.sched
+        sched.init_block_cyclic_layout()
+        self.rows_by_grid_row = sched.rows_by_grid_row
+        self.my_rows = sched.my_rows
+        self.my_cols = sched.my_cols
+        self.col_g2l = sched.col_g2l
+        self.aloc = sched.local_block(a, replicated=True)
         # (t, tree_pos, v, tau) leaf and (t, order, v, tau) node records
         # for host-side Q assembly.
         self.q_log: list[tuple] = []
 
-    # ------------------------------------------------------------------
-    def run(self) -> dict:
-        if not self.active:
-            return {"active": False}
-        steps = (self.n + self.v - 1) // self.v
-        for t in range(steps):
-            self._step(t)
+    def finalize(self) -> dict:
         return {
             "active": True,
             "aloc": self.aloc,
@@ -114,15 +93,13 @@ class _CaqrRank:
             "q_log": self.q_log,
         }
 
-    # ------------------------------------------------------------------
-    def _step(self, t: int) -> None:
-        comm, gd = self.comm, self.grid
-        g, c, n = self.g, self.c, self.n
-        k0 = t * self.v
-        k1 = min(k0 + self.v, n)
-        w = k1 - k0
-        rt = int(self.rowmap.owner(k0))
-        slot_t = int(self.colmap.owner(k0))
+    # -- steps 1-3: leaf QR, tree merge, pane broadcast ----------------
+    def panel_op(self, ctx: StepContext):
+        comm, gd, sched = self.comm, self.grid, self.sched
+        g = self.g
+        t, k0, k1, w = ctx.t, ctx.k0, ctx.k1, ctx.w
+        rt = int(sched.rowmap.owner(k0))
+        slot_t = int(sched.colmap.owner(k0))
         qj, ql = slot_t % g, slot_t // g
         on_panel = self.pj == qj and self.layer == ql
 
@@ -155,12 +132,12 @@ class _CaqrRank:
                     b_row = (rt + step.b) % g
                     if self.pi == b_row:
                         gd.col_comm.send(
-                            r_mine, a_row, _tag(_TAG_TREE_R, t)
+                            r_mine, a_row, sched.tag(_TAG_TREE_R, t)
                         )
                         r_mine = None
                     elif self.pi == a_row:
                         theirs = gd.col_comm.recv(
-                            b_row, _tag(_TAG_TREE_R, t)
+                            b_row, sched.tag(_TAG_TREE_R, t)
                         )
                         stacked = np.vstack([r_mine, theirs])
                         nv, ntau, r_mine = householder_qr(stacked)
@@ -173,18 +150,22 @@ class _CaqrRank:
 
         # 3. fan the pane's reflectors out to the sibling panes
         pkg = (leaf, my_nodes) if on_panel else None
-        with comm.phase("panel_bcast"):
-            if self.layer == ql:
-                pkg = gd.row_comm.bcast(pkg, root=qj)
-            pkg = gd.fiber_comm.bcast(pkg, root=ql)
+        pkg = sched.pane_bcast("panel_bcast", pkg, qj, ql)
         leaf, my_nodes = pkg if pkg is not None else (None, {})
         if on_panel:
             if leaf is not None:
                 self.q_log.append(("leaf", t, my_pos, leaf[0], leaf[1]))
             for order, (nv, ntau) in my_nodes.items():
                 self.q_log.append(("node", t, order, nv, ntau))
+        return leaf, my_nodes, plan, rt, act_loc
 
-        # 4. apply the implicit tree Q^T to my trailing columns
+    # -- step 4: apply the implicit tree Q^T to the trailing columns --
+    def trailing_op(self, ctx: StepContext, panel) -> None:
+        comm, gd, sched = self.comm, self.grid, self.sched
+        g = self.g
+        t, k1 = ctx.t, ctx.k1
+        leaf, my_nodes, plan, rt, act_loc = panel
+
         tcols = np.where(self.my_cols >= k1)[0]
         if len(act_loc) == 0:
             return
@@ -204,17 +185,17 @@ class _CaqrRank:
                     gd.col_comm.send(
                         self.aloc[np.ix_(top, tcols)],
                         a_row,
-                        _tag(_TAG_TOP, t),
+                        sched.tag(_TAG_TOP, t),
                     )
                     updated = gd.col_comm.recv(
-                        a_row, _tag(_TAG_TOP_BACK, t)
+                        a_row, sched.tag(_TAG_TOP_BACK, t)
                     )
                     self.aloc[np.ix_(top, tcols)] = updated
                 elif self.pi == a_row:
                     nv, ntau = my_nodes[order]
                     top = act_loc[: step.r_a]
                     theirs = gd.col_comm.recv(
-                        b_row, _tag(_TAG_TOP, t)
+                        b_row, sched.tag(_TAG_TOP, t)
                     )
                     stacked = np.vstack(
                         [self.aloc[np.ix_(top, tcols)], theirs]
@@ -222,7 +203,9 @@ class _CaqrRank:
                     out = apply_qt(nv, ntau, stacked)
                     self.aloc[np.ix_(top, tcols)] = out[: step.r_a]
                     gd.col_comm.send(
-                        out[step.r_a :], b_row, _tag(_TAG_TOP_BACK, t)
+                        out[step.r_a :],
+                        b_row,
+                        sched.tag(_TAG_TOP_BACK, t),
                     )
 
 
@@ -297,8 +280,14 @@ def _assemble_q(
     return q
 
 
-@register("caqr25d")
-def caqr25d_qr(
+@register_algorithm(
+    "caqr25d",
+    kind="qr",
+    grid_family="25d",
+    description="2.5D CAQR: TSQR panel trees on block-cyclic panes "
+    "(the journal extension's QR workload)",
+)
+def _factor_caqr25d(
     a: np.ndarray,
     nranks: int,
     grid: tuple[int, int, int] | None = None,
@@ -363,3 +352,7 @@ def caqr25d_qr(
             "active_ranks": g * g * c,
         },
     )
+
+
+#: Deprecated alias — use ``factor("caqr25d", ...)``.
+caqr25d_qr = deprecated_alias("caqr25d_qr", "caqr25d")

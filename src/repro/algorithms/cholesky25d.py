@@ -18,6 +18,11 @@ movement core on the same [G, G, c] decomposition:
                       panel twice)
 7.  syrk update     — local: A_l -= L21_rows[:, chunk] L21_cols[:, chunk]^T
 
+Phases 1-3 are the :meth:`panel_op` hook and 4-7 the
+:meth:`trailing_op` hook of the shared :class:`Rank25D` template; the
+scatter and both panel fetches are the same :class:`Schedule25D` plans
+COnfLUX uses (the column-tile fetch is just a different row selector).
+
 The theory side (repro.theory.bounds.cholesky_io_lower_bound) gives
 Q >= N^3/(3 sqrt(M)); like LU, the 2.5D schedule's leading term is
 N^3/(P sqrt(M)) — a factor 3 over the Cholesky bound (Cholesky touches
@@ -30,18 +35,11 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import cholesky as dense_cholesky, solve_triangular
 
-from repro.algorithms.base import (
-    FactorResult,
-    register,
-    validate_input_matrix,
-)
+from repro.algorithms.api import deprecated_alias, register_algorithm
+from repro.algorithms.base import FactorResult, validate_input_matrix
 from repro.algorithms.gridopt import optimize_grid_25d
-from repro.smpi import ProcessGrid3D, run_spmd
-
-
-def _tag(base: int, t: int) -> int:
-    return base + 8 * t
-
+from repro.algorithms.schedule25d import Rank25D, StepContext
+from repro.smpi import run_spmd
 
 _TAG_DIAG = 1
 _TAG_L21 = 2
@@ -49,67 +47,33 @@ _TAG_ROWS = 3
 _TAG_COLS = 4
 
 
-class _CholeskyRank:
-    """Per-rank state for the 2.5D Cholesky (one instance per thread)."""
+class _CholeskyRank(Rank25D):
+    """Per-rank 2.5D Cholesky program on the shared schedule."""
 
-    def __init__(self, comm, a: np.ndarray, g: int, c: int, v: int):
-        self.comm = comm
-        self.n = a.shape[0]
-        self.g = g
-        self.c = c
-        self.v = v
-        self.grid = ProcessGrid3D(comm, g, g, c)
-        self.active = self.grid.active
-        if not self.active:
-            return
-        gd = self.grid
-        self.pi, self.pj, self.layer = gd.row, gd.col, gd.layer
-        self.p_active = g * g * c
-        self.grid_rank = gd.grid_comm.rank
-        n = self.n
-        self.my_rows = np.arange(self.pi, n, g)
-        blocks = np.arange(self.pj, (n + v - 1) // v, g)
-        cols = [np.arange(b * v, min((b + 1) * v, n)) for b in blocks]
-        self.my_cols = (
-            np.concatenate(cols) if cols else np.array([], dtype=int)
-        )
-        self.row_g2l = np.full(n, -1)
-        self.row_g2l[self.my_rows] = np.arange(len(self.my_rows))
-        self.col_g2l = np.full(n, -1)
-        self.col_g2l[self.my_cols] = np.arange(len(self.my_cols))
-        if self.layer == 0:
-            self.aloc = a[np.ix_(self.my_rows, self.my_cols)].copy()
-        else:
-            self.aloc = np.zeros((len(self.my_rows), len(self.my_cols)))
+    def setup(self, a: np.ndarray) -> None:
+        sched = self.sched
+        sched.init_cyclic_layout()
+        self.my_rows = sched.my_rows
+        self.my_cols = sched.my_cols
+        self.row_g2l = sched.row_g2l
+        self.col_g2l = sched.col_g2l
+        self.aloc = sched.local_block(a)
         self.l_pieces: list[tuple[int, np.ndarray, np.ndarray]] = []
         self.l00_blocks: list[tuple[int, np.ndarray]] = []
 
-    def _assign_1d(self, items: np.ndarray, d: int) -> np.ndarray:
-        return items[d :: self.p_active]
-
-    def run(self) -> dict:
-        if not self.active:
-            return {"active": False}
-        steps = (self.n + self.v - 1) // self.v
-        for t in range(steps):
-            self._step(t)
+    def finalize(self) -> dict:
         return {
             "active": True,
             "l_pieces": self.l_pieces,
             "l00_blocks": self.l00_blocks,
         }
 
-    def _step(self, t: int) -> None:
-        comm, gd = self.comm, self.grid
-        g, c, v, n = self.g, self.c, self.v, self.n
-        q = t % g
-        lt = t % c
-        k0 = t * v
-        k1 = min(k0 + v, n)
-        w = k1 - k0
-        panel_cols = np.arange(k0, k1)
-        active_rows = np.arange(k0, n)
-        below_rows = np.arange(k1, n)
+    # -- phases 1-3: reduce the panel, dpotrf the diagonal, bcast L00 --
+    def panel_op(self, ctx: StepContext):
+        comm, gd, sched = self.comm, self.grid, self.sched
+        g = self.g
+        t, q, lt, k0, k1 = ctx.t, ctx.q, ctx.lt, ctx.k0, ctx.k1
+        active_rows = np.arange(k0, self.n)
 
         on_panel_col = self.pj == q
         mine = active_rows[(active_rows % g) == self.pi]
@@ -118,18 +82,17 @@ class _CholeskyRank:
         # 1. reduce the panel to layer lt
         panel_true = None
         if on_panel_col:
-            with comm.phase("reduce_column"):
-                contrib = self.aloc[
-                    np.ix_(mine_local, self.col_g2l[panel_cols])
-                ]
-                reduced = gd.fiber_comm.reduce(contrib, root=lt)
-            if self.layer == lt:
-                panel_true = reduced
+            contrib = self.aloc[
+                np.ix_(mine_local, self.col_g2l[ctx.panel_cols])
+            ]
+            panel_true = sched.reduce_to_layer(
+                "reduce_column", contrib, lt
+            )
 
         # 2. gather the diagonal block on (0, q, lt) and factor it
         root = gd.rank_of(0, q, lt)
         l00 = None
-        if on_panel_col and self.layer == lt:
+        if panel_true is not None:
             diag_mask = (mine >= k0) & (mine < k1)
             with comm.phase("gather_diag"):
                 if self.pi == 0:
@@ -145,7 +108,8 @@ class _CholeskyRank:
                         if not src_rows:
                             continue
                         vals = gd.grid_comm.recv(
-                            gd.rank_of(src_i, q, lt), _tag(_TAG_DIAG, t)
+                            gd.rank_of(src_i, q, lt),
+                            sched.tag(_TAG_DIAG, t),
                         )
                         for i, r in enumerate(src_rows):
                             rows[r] = vals[i]
@@ -155,7 +119,9 @@ class _CholeskyRank:
                 else:
                     if diag_mask.any():
                         gd.grid_comm.send(
-                            panel_true[diag_mask], root, _tag(_TAG_DIAG, t)
+                            panel_true[diag_mask],
+                            root,
+                            sched.tag(_TAG_DIAG, t),
                         )
 
         # 3. broadcast L00 to everyone
@@ -163,41 +129,28 @@ class _CholeskyRank:
             l00 = gd.grid_comm.bcast(l00, root=root)
         if self.grid_rank == 0:
             self.l00_blocks.append((t, l00.copy()))
+        return l00, panel_true, mine
+
+    # -- phases 4-7: scatter L21, trsm, panel fetches, syrk update -----
+    def trailing_op(self, ctx: StepContext, panel) -> None:
+        gd, sched = self.grid, self.sched
+        g = self.g
+        t, q, lt, k1, w = ctx.t, ctx.q, ctx.lt, ctx.k1, ctx.w
+        l00, panel_true, mine = panel
+        below_rows = np.arange(k1, self.n)
 
         # 4. scatter the below-diagonal panel rows to the 1D layout
-        my_l21_rows = self._assign_1d(below_rows, self.grid_rank)
-        received: dict[int, np.ndarray] = {}
-        if panel_true is not None:
-            lookup = {int(r): i for i, r in enumerate(mine)}
-            owners = np.arange(len(below_rows)) % self.p_active
-            with comm.phase("scatter_l21"):
-                for dest in range(self.p_active):
-                    rows = below_rows[
-                        (owners == dest)
-                        & ((below_rows % g) == self.pi)
-                    ]
-                    if len(rows) == 0:
-                        continue
-                    vals = panel_true[[lookup[int(r)] for r in rows], :]
-                    if dest == self.grid_rank:
-                        received[self.grid_rank] = vals
-                    else:
-                        gd.grid_comm.send(vals, dest, _tag(_TAG_L21, t))
-        # receive my 1D rows, grouped by source grid row
-        c_rows = np.zeros((len(my_l21_rows), w))
-        if len(my_l21_rows):
-            pos = {int(r): i for i, r in enumerate(my_l21_rows)}
-            for src_i in range(g):
-                rows = my_l21_rows[(my_l21_rows % g) == src_i]
-                if len(rows) == 0:
-                    continue
-                src = gd.rank_of(src_i, q, lt)
-                if src == self.grid_rank and src in received:
-                    vals = received[src]
-                else:
-                    vals = gd.grid_comm.recv(src, _tag(_TAG_L21, t))
-                for i, r in enumerate(rows):
-                    c_rows[pos[int(r)], :] = vals[i, :]
+        my_l21_rows = sched.assign_1d(below_rows, self.grid_rank)
+        received = sched.scatter_rows(
+            t,
+            phase="scatter_l21",
+            tag=sched.tag(_TAG_L21, t),
+            row_pool=below_rows,
+            holder=lambda r: gd.rank_of(r % g, q, lt),
+            values=panel_true,
+            value_rows=mine if panel_true is not None else None,
+        )
+        c_rows = sched.assemble_rows(received, my_l21_rows, w)
 
         # 5. local trsm: L21 = C L00^{-T}
         if len(my_l21_rows):
@@ -206,20 +159,33 @@ class _CholeskyRank:
         else:
             l21 = np.zeros((0, w))
 
-        if k1 >= n:
+        if k1 >= self.n:
             return
 
         # 6. panel fetches for the symmetric rank-v update
-        chunk = np.array_split(np.arange(w), c)[self.layer]
-        rows_piece, need_rows = self._fetch_piece(
-            t, below_rows, l21, my_l21_rows, chunk,
-            select=lambda items: items[(items % self.g) == self.pi],
-            tag=_TAG_ROWS, phase="panel_rows",
+        chunk = sched.my_chunk(w)
+        rows_piece, need_rows = sched.fetch_rows_piece(
+            t,
+            phase="panel_rows",
+            tag=sched.tag(_TAG_ROWS, t),
+            pool=below_rows,
+            vals_1d=l21,
+            my_1d_rows=my_l21_rows,
+            chunk=chunk,
+            need_rows_of=lambda rows, i, j: rows[(rows % g) == i],
         )
-        cols_piece, need_cols = self._fetch_piece(
-            t, below_rows, l21, my_l21_rows, chunk,
-            select=self._my_trailing_cols,
-            tag=_TAG_COLS, phase="panel_cols",
+        v = self.v
+        cols_piece, need_cols = sched.fetch_rows_piece(
+            t,
+            phase="panel_cols",
+            tag=sched.tag(_TAG_COLS, t),
+            pool=below_rows,
+            vals_1d=l21,
+            my_1d_rows=my_l21_rows,
+            chunk=chunk,
+            need_rows_of=lambda rows, i, j: rows[
+                ((rows // v) % g) == j
+            ],
         )
 
         # 7. local symmetric update of this layer's partials
@@ -227,81 +193,6 @@ class _CholeskyRank:
             rloc = self.row_g2l[need_rows]
             cloc = self.col_g2l[need_cols]
             self.aloc[np.ix_(rloc, cloc)] -= rows_piece @ cols_piece.T
-
-    def _my_trailing_cols(self, items: np.ndarray) -> np.ndarray:
-        """Columns of my tiles among ``items`` (as symmetric row ids)."""
-        return items[((items // self.v) % self.g) == self.pj]
-
-    def _fetch_piece(
-        self,
-        t: int,
-        pool: np.ndarray,
-        l21: np.ndarray,
-        my_1d_rows: np.ndarray,
-        chunk: np.ndarray,
-        select,
-        tag: int,
-        phase: str,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Redistribute L21 chunks from the 1D layout to whichever rows
-        ``select`` says this rank needs (its grid-row rows, or the rows
-        matching its column tiles)."""
-        comm, gd = self.comm, self.grid
-        g, c = self.g, self.c
-        # sender: ship my 1D rows' chunk to every rank whose `select`
-        # includes them.  Deterministic: every rank knows the assignment
-        # and both select functions.
-        with comm.phase(phase):
-            if len(my_1d_rows) and len(chunk):
-                for i in range(g):
-                    for j in range(g):
-                        for l in range(c):
-                            lchunk = np.array_split(
-                                np.arange(l21.shape[1]), c
-                            )[l]
-                            if len(lchunk) == 0:
-                                continue
-                            dest = gd.rank_of(i, j, l)
-                            dest_rows = self._rows_for(
-                                tag, my_1d_rows, i, j
-                            )
-                            if len(dest_rows) == 0:
-                                continue
-                            mask = np.isin(my_1d_rows, dest_rows)
-                            vals = l21[np.ix_(mask, lchunk)]
-                            if dest == self.grid_rank:
-                                setattr(self, f"_self_{tag}", vals)
-                            else:
-                                gd.grid_comm.send(
-                                    vals, dest, _tag(tag, t)
-                                )
-        my_need = select(pool)
-        if len(my_need) == 0 or len(chunk) == 0:
-            self.__dict__.pop(f"_self_{tag}", None)
-            return np.zeros((0, len(chunk))), my_need
-        out = np.zeros((len(my_need), len(chunk)))
-        pos = {int(r): i for i, r in enumerate(my_need)}
-        for src in range(self.p_active):
-            src_rows = self._assign_1d(pool, src)
-            src_rows = self._rows_for(tag, src_rows, self.pi, self.pj)
-            if len(src_rows) == 0:
-                continue
-            if src == self.grid_rank and hasattr(self, f"_self_{tag}"):
-                vals = getattr(self, f"_self_{tag}")
-            else:
-                vals = gd.grid_comm.recv(src, _tag(tag, t))
-            for i, r in enumerate(src_rows):
-                out[pos[int(r)], :] = vals[i, :]
-        self.__dict__.pop(f"_self_{tag}", None)
-        return out, my_need
-
-    def _rows_for(
-        self, tag: int, rows: np.ndarray, i: int, j: int
-    ) -> np.ndarray:
-        """Which of ``rows`` destination (i, j, *) needs, per fetch kind."""
-        if tag == _TAG_ROWS:
-            return rows[(rows % self.g) == i]
-        return rows[((rows // self.v) % self.g) == j]
 
 
 def _cholesky_rank_fn(comm, a, g, c, v):
@@ -331,8 +222,14 @@ def _assemble_cholesky(n: int, v: int, results: list[dict]) -> np.ndarray:
     return lower
 
 
-@register("cholesky25d")
-def cholesky25d_lu(
+@register_algorithm(
+    "cholesky25d",
+    kind="chol",
+    grid_family="25d",
+    description="COnfLUX-style 2.5D Cholesky (pivot-free Algorithm 1 "
+    "data-movement core)",
+)
+def _factor_cholesky25d(
     a: np.ndarray,
     nranks: int,
     grid: tuple[int, int, int] | None = None,
@@ -390,3 +287,7 @@ def cholesky25d_lu(
         residual=residual,
         meta={"active_ranks": g * g * c},
     )
+
+
+#: Deprecated alias — use ``factor("cholesky25d", ...)``.
+cholesky25d_lu = deprecated_alias("cholesky25d_lu", "cholesky25d")

@@ -33,33 +33,37 @@ Per step t (tile q = t mod G, layer l = t mod c, width w):
 Pivot rows are never swapped — only their indices travel (row masking),
 so the O(N^3 / (P sqrt(M))) swap traffic a 2.5D layout would pay
 (Section 7.3, "Row Swapping vs Row Masking") never materializes.
+
+Steps 1-3 are the :meth:`panel_op` hook and steps 4-11 the
+:meth:`trailing_op` hook of the shared :class:`Rank25D` template; all
+grid choreography (scatters, fetches, reductions, tags) lives in
+:mod:`repro.algorithms.schedule25d`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.api import deprecated_alias, register_algorithm
 from repro.algorithms.base import (
     FactorResult,
-    register,
     validate_input_matrix,
     verify_factors,
 )
 from repro.algorithms.gridopt import optimize_grid_25d
-from repro.kernels.linalg import trsm_lower_unit, trsm_upper
-from repro.kernels.lu_seq import split_lu
+from repro.algorithms.schedule25d import Rank25D, StepContext
+from repro.kernels.linalg import (
+    permutation_from_pivots,
+    trsm_lower_unit,
+    trsm_upper,
+)
+from repro.kernels.lu_seq import lu_partial_pivot, split_lu
 from repro.kernels.tournament import (
     PivotCandidates,
     local_candidates,
     merge_candidates,
 )
-from repro.smpi import ProcessGrid3D, run_spmd
-
-def _tag(base: int, t: int) -> int:
-    """Step-scoped tags: a fast rank may race ahead into step t+1, so
-    every point-to-point phase tags its traffic with the step index."""
-    return base + 8 * t
-
+from repro.smpi import run_spmd
 
 _TAG_A10_SCATTER = 1
 _TAG_A01_SCATTER = 2
@@ -81,91 +85,23 @@ def _merge_op(w: int):
     return op
 
 
-class _ConfluxRank:
-    """Per-rank state and step logic (one instance per SPMD thread)."""
+class _ConfluxRank(Rank25D):
+    """Per-rank COnfLUX program on the shared 2.5D schedule."""
 
-    def __init__(self, comm, a: np.ndarray, g: int, c: int, v: int):
-        self.comm = comm
-        self.n = a.shape[0]
-        self.g = g
-        self.c = c
-        self.v = v
-        self.grid = ProcessGrid3D(comm, g, g, c)
-        self.active = self.grid.active
-        if not self.active:
-            return
-        gd = self.grid
-        self.pi, self.pj, self.layer = gd.row, gd.col, gd.layer
-        self.p_active = g * g * c
-        self.grid_rank = gd.grid_comm.rank
-
-        n, v_ = self.n, v
-        self.my_rows = np.arange(self.pi, n, g)  # cyclic rows
-        col_blocks = np.arange(self.pj, (n + v_ - 1) // v_, g)
-        self.my_col_blocks = col_blocks
-        cols = [
-            np.arange(b * v_, min((b + 1) * v_, n)) for b in col_blocks
-        ]
-        self.my_cols = (
-            np.concatenate(cols) if cols else np.array([], dtype=int)
-        )
-        # global -> local lookups (dense arrays; -1 = not mine)
-        self.row_g2l = np.full(n, -1)
-        self.row_g2l[self.my_rows] = np.arange(len(self.my_rows))
-        self.col_g2l = np.full(n, -1)
-        self.col_g2l[self.my_cols] = np.arange(len(self.my_cols))
-        # Layer 0 holds the (pre-distributed) matrix; other layers hold
-        # zero-initialized partial-update accumulators.
-        if self.layer == 0:
-            self.aloc = a[np.ix_(self.my_rows, self.my_cols)].copy()
-        else:
-            self.aloc = np.zeros((len(self.my_rows), len(self.my_cols)))
-
-        self.pivoted = np.zeros(n, dtype=bool)
+    def setup(self, a: np.ndarray) -> None:
+        sched = self.sched
+        sched.init_cyclic_layout()
+        self.my_rows = sched.my_rows
+        self.my_cols = sched.my_cols
+        self.row_g2l = sched.row_g2l
+        self.col_g2l = sched.col_g2l
+        self.aloc = sched.local_block(a)
+        self.pivoted = np.zeros(self.n, dtype=bool)
         self.l_pieces: list[tuple[int, np.ndarray, np.ndarray]] = []
         self.u_pieces: list[tuple[int, np.ndarray, np.ndarray]] = []
         self.a00_blocks: list[tuple[int, np.ndarray, np.ndarray]] = []
 
-    # ------------------------------------------------------------------
-    # chunking strategy (overridden by the CANDMC-like variant, which
-    # replicates full-width panels instead of 1/c chunks)
-    # ------------------------------------------------------------------
-    def _sender_chunks(self, width: int) -> list[np.ndarray]:
-        """Per-layer column/row chunks a panel sender ships to layer l."""
-        return np.array_split(np.arange(width), self.c)
-
-    def _my_chunk(self, width: int) -> np.ndarray:
-        """The slice of the panel THIS rank's layer applies in the Schur
-        update (always the 1/c split, regardless of what was shipped)."""
-        return np.array_split(np.arange(width), self.c)[self.layer]
-
-    # ------------------------------------------------------------------
-    # deterministic 1D assignments (every rank computes them identically)
-    # ------------------------------------------------------------------
-    def _assign_1d(self, items: np.ndarray, d: int) -> np.ndarray:
-        """Items assigned to active-grid rank ``d``: cyclic striding."""
-        return items[d :: self.p_active]
-
-    def _owner_1d(self, position: int) -> int:
-        return position % self.p_active
-
-    # ------------------------------------------------------------------
-    # step phases
-    # ------------------------------------------------------------------
-    def _panel_cols(self, t: int) -> np.ndarray:
-        return np.arange(t * self.v, min((t + 1) * self.v, self.n))
-
-    def _trailing_cols_mask(self, t: int) -> np.ndarray:
-        """Local column indices belonging to tiles > t."""
-        return np.where(self.my_cols >= (t + 1) * self.v)[0]
-
-    def run(self) -> dict:
-        if not self.active:
-            return {"active": False}
-        n, v = self.n, self.v
-        steps = (n + v - 1) // v
-        for t in range(steps):
-            self._step(t)
+    def finalize(self) -> dict:
         return {
             "active": True,
             "l_pieces": self.l_pieces,
@@ -173,19 +109,13 @@ class _ConfluxRank:
             "a00_blocks": self.a00_blocks,
         }
 
-    def _step(self, t: int) -> None:
-        comm, gd = self.comm, self.grid
-        g, c, v, n = self.g, self.c, self.v, self.n
-        q = t % g  # grid column owning the panel tile
-        lt = t % c  # layer coordinating this step
-        panel_cols = self._panel_cols(t)
-        w = len(panel_cols)
+    # -- steps 1-3: reduce the panel, run the tournament, factor A00 ---
+    def panel_op(self, ctx: StepContext):
+        comm, gd, sched = self.comm, self.grid, self.sched
+        t, q, lt, w = ctx.t, ctx.q, ctx.lt, ctx.w
         active_rows = np.where(~self.pivoted)[0]
 
         on_panel_col = self.pj == q
-        local_panel_cols = (
-            self.col_g2l[panel_cols] if on_panel_col else None
-        )
         my_active_local = self.row_g2l[active_rows]
         my_active_rows = active_rows[my_active_local >= 0]
         my_active_local = my_active_local[my_active_local >= 0]
@@ -193,88 +123,100 @@ class _ConfluxRank:
         # -- step 1: reduce next block column to layer lt ---------------
         panel_true = None
         if on_panel_col:
-            with comm.phase("reduce_column"):
-                contrib = self.aloc[
-                    np.ix_(my_active_local, local_panel_cols)
-                ]
-                reduced = gd.fiber_comm.reduce(contrib, root=lt)
-            if self.layer == lt:
-                panel_true = reduced
+            contrib = self.aloc[
+                np.ix_(my_active_local, self.col_g2l[ctx.panel_cols])
+            ]
+            panel_true = sched.reduce_to_layer(
+                "reduce_column", contrib, lt
+            )
 
         # -- step 2: tournament pivoting over the G panel ranks ---------
-        if on_panel_col and self.layer == lt:
+        if panel_true is not None:
             with comm.phase("tournament"):
                 cand = local_candidates(panel_true, my_active_rows, w)
                 payload = (cand.values, cand.row_ids)
                 win = gd.col_comm.reduce(payload, root=0, op=_merge_op(w))
                 win = gd.col_comm.bcast(win, root=0)
             winner = PivotCandidates(values=win[0], row_ids=win[1])
-            from repro.kernels.lu_seq import lu_partial_pivot
-            from repro.kernels.linalg import permutation_from_pivots
-
             lu00, piv = lu_partial_pivot(winner.values[:, :w])
             order = permutation_from_pivots(piv, winner.count)
             pivot_ids = winner.row_ids[order][:w]
-            a00 = lu00
-            payload = (pivot_ids, a00)
+            payload = (pivot_ids, lu00)
         else:
             payload = None
 
         # -- step 3: broadcast A00 + pivot ids to all active ranks ------
-        with comm.phase("bcast_a00"):
-            root = gd.rank_of(0, q, lt)
-            pivot_ids, a00 = gd.grid_comm.bcast(payload, root=root)
+        pivot_ids, a00 = sched.bcast_from(
+            "bcast_a00", payload, (0, q, lt)
+        )
         if self.grid_rank == 0:
             self.a00_blocks.append((t, pivot_ids.copy(), a00.copy()))
+        return (
+            pivot_ids,
+            a00,
+            panel_true,
+            my_active_rows,
+            active_rows,
+        )
+
+    # -- steps 4-11: scatter, trsm, panel fetches, Schur update --------
+    def trailing_op(self, ctx: StepContext, panel) -> None:
+        gd, sched = self.grid, self.sched
+        g, v, n = self.g, self.v, self.n
+        t, q, lt, w = ctx.t, ctx.q, ctx.lt, ctx.w
+        pivot_ids, a00, panel_true, my_active_rows, active_rows = panel
         pivot_set = set(pivot_ids.tolist())
         nonpivot_rows = np.array(
             [r for r in active_rows if r not in pivot_set], dtype=int
         )
 
         # -- step 4: scatter A10 (non-pivot panel rows) to 1D layout ----
-        a10_rows = self._assign_1d(nonpivot_rows, self.grid_rank)
-        recv_plan_a10 = self._scatter_rows(
+        a10_rows = sched.assign_1d(nonpivot_rows, self.grid_rank)
+        recv_plan_a10 = sched.scatter_rows(
             t,
             phase="scatter_a10",
-            tag=_tag(_TAG_A10_SCATTER, t),
+            tag=sched.tag(_TAG_A10_SCATTER, t),
             row_pool=nonpivot_rows,
             holder=lambda r: gd.rank_of(r % g, q, lt),
             values=panel_true,
             value_rows=my_active_rows
-            if on_panel_col and self.layer == lt
+            if panel_true is not None
             else None,
         )
         # -- step 7: local trsm A10 <- C U00^{-1} ------------------------
         _, u00 = split_lu(a00)
         if len(a10_rows):
-            c_rows = self._assemble_rows(recv_plan_a10, a10_rows, w)
+            c_rows = sched.assemble_rows(recv_plan_a10, a10_rows, w)
             a10_vals = trsm_upper(u00, c_rows, side="right")
             self.l_pieces.append((t, a10_rows.copy(), a10_vals))
         else:
             a10_vals = np.zeros((0, w))
 
         # -- step 5: reduce the pivot rows' trailing values -------------
-        trail_local = self._trailing_cols_mask(t)
+        trail_local = sched.trailing_local_cols(t)
         trail_cols = self.my_cols[trail_local]
-        my_pivots_mask = (pivot_ids % g) == self.pi
-        my_pivot_rows = pivot_ids[my_pivots_mask]
+        my_pivot_rows = pivot_ids[(pivot_ids % g) == self.pi]
         pivot_true = None
         if len(my_pivot_rows) and len(trail_local):
-            with comm.phase("reduce_pivot_rows"):
-                contrib = self.aloc[
-                    np.ix_(self.row_g2l[my_pivot_rows], trail_local)
-                ]
-                reduced = gd.fiber_comm.reduce(contrib, root=lt)
-            if self.layer == lt:
-                pivot_true = reduced
-        elif self.c > 1 and len(trail_local) == 0 and len(my_pivot_rows):
-            pass  # no trailing columns on this rank: nothing to reduce
+            contrib = self.aloc[
+                np.ix_(self.row_g2l[my_pivot_rows], trail_local)
+            ]
+            pivot_true = sched.reduce_to_layer(
+                "reduce_pivot_rows", contrib, lt
+            )
 
         # -- step 6: scatter A01 to a 1D layout over trailing columns ---
         all_trailing = np.arange((t + 1) * v, n)
-        a01_cols = self._assign_1d(all_trailing, self.grid_rank)
-        assembled_a01 = self._scatter_a01(
-            t, pivot_ids, pivot_true, my_pivot_rows, trail_cols, a01_cols
+        a01_cols = sched.assign_1d(all_trailing, self.grid_rank)
+        assembled_a01 = sched.scatter_pivot_cols(
+            t,
+            phase="scatter_a01",
+            tag=sched.tag(_TAG_A01_SCATTER, t),
+            pivot_ids=pivot_ids,
+            pivot_true=pivot_true,
+            my_pivot_rows=my_pivot_rows,
+            my_trail_cols=trail_cols,
+            my_assigned_cols=a01_cols,
         )
         # -- step 9: local trsm A01 <- L00^{-1} C ------------------------
         if len(a01_cols):
@@ -284,18 +226,31 @@ class _ConfluxRank:
             a01_vals = np.zeros((w, 0))
 
         # -- steps 8 + 10: fetch 2.5D panel pieces ----------------------
-        chunk = self._sender_chunks(w)[self.layer]
-        a10_piece, piece_rows = self._fetch_a10_piece(
-            t, nonpivot_rows, a10_vals, a10_rows, chunk
+        chunk = sched.sender_chunks(w)[self.layer]
+        a10_piece, piece_rows = sched.fetch_rows_piece(
+            t,
+            phase="panel_a10",
+            tag=sched.tag(_TAG_A10_PANEL, t),
+            pool=nonpivot_rows,
+            vals_1d=a10_vals,
+            my_1d_rows=a10_rows,
+            chunk=chunk,
+            need_rows_of=lambda rows, i, j: rows[(rows % g) == i],
         )
-        a01_piece, piece_cols = self._fetch_a01_piece(
-            t, all_trailing, a01_vals, a01_cols, chunk
+        a01_piece, piece_cols = sched.fetch_cols_piece(
+            t,
+            phase="panel_a01",
+            tag=sched.tag(_TAG_A01_PANEL, t),
+            pool=all_trailing,
+            vals_1d=a01_vals,
+            my_1d_cols=a01_cols,
+            chunk=chunk,
         )
 
         # -- step 11: local Schur update on this layer's partials -------
         # The layer applies only its 1/c slice even when the shipped
         # pieces are wider (the CANDMC-like variant over-fetches).
-        applied = self._my_chunk(w)
+        applied = sched.my_chunk(w)
         if a10_piece.size and a01_piece.size and len(applied):
             rel = np.searchsorted(chunk, applied)
             rloc = self.row_g2l[piece_rows]
@@ -305,282 +260,6 @@ class _ConfluxRank:
             )
 
         self.pivoted[pivot_ids] = True
-
-    # ------------------------------------------------------------------
-    # communication helpers
-    # ------------------------------------------------------------------
-    def _scatter_rows(
-        self,
-        t: int,
-        phase: str,
-        tag: int,
-        row_pool: np.ndarray,
-        holder,
-        values: np.ndarray | None,
-        value_rows: np.ndarray | None,
-    ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
-        """Step 4: holders of true panel rows send each 1D-assigned rank
-        its rows.  Returns {source_grid_rank: (row_ids, values)} for this
-        rank's incoming pieces (self-deliveries included).
-
-        Wire messages carry *values only*: both sides derive the row ids
-        from the shared deterministic assignment (pool position -> 1D
-        owner) and the ``holder`` map, so no index metadata inflates the
-        measured volume — matching the paper's data-bytes accounting.
-        """
-        comm, gd = self.comm, self.grid
-        received: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        owners = np.arange(len(row_pool)) % self.p_active
-
-        # sender side: I hold true values for value_rows (panel ranks on
-        # layer lt only).
-        if values is not None and value_rows is not None:
-            lookup = {int(r): i for i, r in enumerate(value_rows)}
-            me = self.grid_rank
-            by_dest: dict[int, list[int]] = {}
-            for pos, r in enumerate(row_pool):
-                if int(r) in lookup and holder(int(r)) == me:
-                    by_dest.setdefault(int(owners[pos]), []).append(int(r))
-            with comm.phase(phase):
-                for dest, rows in sorted(by_dest.items()):
-                    vals = values[[lookup[r] for r in rows], :]
-                    if dest == me:
-                        received[me] = (np.array(rows), vals)
-                    else:
-                        gd.grid_comm.send(vals, dest, tag)
-
-        # receiver side: my assigned rows, grouped by source holder in
-        # pool order (the exact order the sender packed them in).
-        mine_mask = owners == self.grid_rank
-        by_src: dict[int, list[int]] = {}
-        for r in row_pool[mine_mask]:
-            by_src.setdefault(holder(int(r)), []).append(int(r))
-        for src in sorted(by_src):
-            if src == self.grid_rank:
-                continue  # already self-delivered
-            vals = gd.grid_comm.recv(src, tag)
-            received[src] = (np.array(by_src[src]), vals)
-        return received
-
-    def _assemble_rows(
-        self,
-        received: dict[int, tuple[np.ndarray, np.ndarray]],
-        wanted_rows: np.ndarray,
-        w: int,
-    ) -> np.ndarray:
-        out = np.zeros((len(wanted_rows), w))
-        pos = {int(r): i for i, r in enumerate(wanted_rows)}
-        filled = 0
-        for ids, vals in received.values():
-            for i, r in enumerate(ids):
-                out[pos[int(r)], :] = vals[i, :]
-                filled += 1
-        if filled != len(wanted_rows):
-            raise RuntimeError(
-                f"A10 scatter incomplete: {filled}/{len(wanted_rows)} rows"
-            )
-        return out
-
-    def _scatter_a01(
-        self,
-        t: int,
-        pivot_ids: np.ndarray,
-        pivot_true: np.ndarray | None,
-        my_pivot_rows: np.ndarray,
-        my_trail_cols: np.ndarray,
-        my_assigned_cols: np.ndarray,
-    ) -> np.ndarray:
-        """Step 6: reduced pivot-row holders send column slices to the
-        1D-over-columns layout; returns the assembled (w x assigned)
-        block in pivot order.
-
-        Canonical packing (derived, never transmitted): rows in pivot
-        order restricted to the sender's grid row; columns in trailing-
-        pool order restricted to (destination 1D share) x (sender's grid
-        column tiles).
-        """
-        comm, gd = self.comm, self.grid
-        g, c, v = self.g, self.c, self.v
-        lt = t % c
-        w = len(pivot_ids)
-        all_trailing = np.arange((t + 1) * v, self.n)
-        owners = np.arange(len(all_trailing)) % self.p_active
-        tile_col = (all_trailing // v) % g  # grid column of each col
-
-        out = np.zeros((w, len(my_assigned_cols)))
-
-        # sender side: on layer lt with pivot rows and trailing cols.
-        if pivot_true is not None and len(my_pivot_rows):
-            # rows I hold, in pivot order (pivot_true rows are ordered by
-            # my_pivot_rows = pivot_ids filtered to my grid row).
-            mine_cols_mask = tile_col == self.pj
-            with comm.phase("scatter_a01"):
-                for dest in range(self.p_active):
-                    sel = mine_cols_mask & (owners == dest)
-                    if not sel.any():
-                        continue
-                    cols = all_trailing[sel]
-                    # map local col ids to positions within my_trail_cols
-                    trail_pos = np.searchsorted(my_trail_cols, cols)
-                    vals = pivot_true[:, trail_pos]
-                    if dest == self.grid_rank:
-                        self._a01_scatter_self = (cols, vals)
-                    else:
-                        gd.grid_comm.send(
-                            vals, dest, _tag(_TAG_A01_SCATTER, t)
-                        )
-
-        # receiver side.
-        if len(my_assigned_cols) == 0:
-            self.__dict__.pop("_a01_scatter_self", None)
-            return out
-        col_pos = {int(cc): i for i, cc in enumerate(my_assigned_cols)}
-        pivot_order_pos = {int(r): i for i, r in enumerate(pivot_ids)}
-        # grid rows that own at least one pivot row
-        rows_by_gridrow: dict[int, list[int]] = {}
-        for r in pivot_ids:
-            rows_by_gridrow.setdefault(int(r) % g, []).append(int(r))
-        # my assigned cols grouped by owning grid column
-        my_tiles = (my_assigned_cols // v) % g
-        for pj in range(g):
-            cols_from = my_assigned_cols[my_tiles == pj]
-            if len(cols_from) == 0:
-                continue
-            for i, rows in sorted(rows_by_gridrow.items()):
-                src = gd.rank_of(i, pj, lt)
-                if src == self.grid_rank:
-                    cols, vals = self._a01_scatter_self
-                else:
-                    vals = gd.grid_comm.recv(
-                        src, _tag(_TAG_A01_SCATTER, t)
-                    )
-                    cols = cols_from
-                for ri, r in enumerate(rows):
-                    for ci, cc in enumerate(cols):
-                        out[pivot_order_pos[r], col_pos[int(cc)]] = vals[
-                            ri, ci
-                        ]
-        self.__dict__.pop("_a01_scatter_self", None)
-        return out
-
-    def _fetch_a10_piece(
-        self,
-        t: int,
-        nonpivot_rows: np.ndarray,
-        a10_vals: np.ndarray,
-        a10_rows: np.ndarray,
-        chunk: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Step 8: redistribute A10 from the 1D layout to the 2.5D
-        layout: every rank needs (its grid-row's rows) x chunk_l.
-        Values-only messages; ids derived from the shared assignment."""
-        comm, gd = self.comm, self.grid
-        g, c = self.g, self.c
-        with comm.phase("panel_a10"):
-            if len(a10_rows):
-                sender_chunks = self._sender_chunks(a10_vals.shape[1])
-                for i in range(g):
-                    mask = (a10_rows % g) == i
-                    if not mask.any():
-                        continue
-                    for j in range(g):
-                        for l in range(c):
-                            lchunk = sender_chunks[l]
-                            if len(lchunk) == 0:
-                                continue
-                            dest = gd.rank_of(i, j, l)
-                            vals = a10_vals[np.ix_(mask, lchunk)]
-                            if dest == self.grid_rank:
-                                self._a10_self = vals
-                            else:
-                                gd.grid_comm.send(
-                                    vals, dest, _tag(_TAG_A10_PANEL, t)
-                                )
-        my_need = nonpivot_rows[(nonpivot_rows % g) == self.pi]
-        if len(my_need) == 0 or len(chunk) == 0:
-            self.__dict__.pop("_a10_self", None)
-            return np.zeros((0, len(chunk))), my_need
-        out = np.zeros((len(my_need), len(chunk)))
-        pos = {int(r): i for i, r in enumerate(my_need)}
-        # rows grouped by their 1D owner, in the owner's packing order
-        # (assign_1d order filtered to my grid row).
-        got = 0
-        for src in range(self.p_active):
-            src_rows = self._assign_1d(nonpivot_rows, src)
-            src_rows = src_rows[(src_rows % g) == self.pi]
-            if len(src_rows) == 0:
-                continue
-            if src == self.grid_rank:
-                vals = self._a10_self
-            else:
-                vals = gd.grid_comm.recv(src, _tag(_TAG_A10_PANEL, t))
-            for i, r in enumerate(src_rows):
-                out[pos[int(r)], :] = vals[i, :]
-                got += 1
-        self.__dict__.pop("_a10_self", None)
-        if got != len(my_need):
-            raise RuntimeError(
-                f"A10 panel fetch incomplete: {got}/{len(my_need)}"
-            )
-        return out, my_need
-
-    def _fetch_a01_piece(
-        self,
-        t: int,
-        all_trailing: np.ndarray,
-        a01_vals: np.ndarray,
-        a01_cols: np.ndarray,
-        chunk: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Step 10: redistribute A01 from 1D to 2.5D: every rank needs
-        chunk_l x (trailing cols in its tiles).  Values-only messages."""
-        comm, gd = self.comm, self.grid
-        g, c = self.g, self.c
-        with comm.phase("panel_a01"):
-            if len(a01_cols):
-                sender_chunks = self._sender_chunks(a01_vals.shape[0])
-                for j in range(g):
-                    mask = ((a01_cols // self.v) % g) == j
-                    if not mask.any():
-                        continue
-                    for i in range(g):
-                        for l in range(c):
-                            lchunk = sender_chunks[l]
-                            if len(lchunk) == 0:
-                                continue
-                            dest = gd.rank_of(i, j, l)
-                            vals = a01_vals[np.ix_(lchunk, mask)]
-                            if dest == self.grid_rank:
-                                self._a01_self = vals
-                            else:
-                                gd.grid_comm.send(
-                                    vals, dest, _tag(_TAG_A01_PANEL, t)
-                                )
-        my_need = all_trailing[((all_trailing // self.v) % g) == self.pj]
-        if len(my_need) == 0 or len(chunk) == 0:
-            self.__dict__.pop("_a01_self", None)
-            return np.zeros((len(chunk), 0)), my_need
-        out = np.zeros((len(chunk), len(my_need)))
-        pos = {int(cc): i for i, cc in enumerate(my_need)}
-        got = 0
-        for src in range(self.p_active):
-            src_cols = self._assign_1d(all_trailing, src)
-            src_cols = src_cols[((src_cols // self.v) % g) == self.pj]
-            if len(src_cols) == 0:
-                continue
-            if src == self.grid_rank:
-                vals = self._a01_self
-            else:
-                vals = gd.grid_comm.recv(src, _tag(_TAG_A01_PANEL, t))
-            for i, cc in enumerate(src_cols):
-                out[:, pos[int(cc)]] = vals[:, i]
-                got += 1
-        self.__dict__.pop("_a01_self", None)
-        if got != len(my_need):
-            raise RuntimeError(
-                f"A01 panel fetch incomplete: {got}/{len(my_need)}"
-            )
-        return out, my_need
 
 
 def _conflux_rank_fn(comm, a, g, c, v):
@@ -630,8 +309,14 @@ def _assemble(
     return lower, upper, perm
 
 
-@register("conflux")
-def conflux_lu(
+@register_algorithm(
+    "conflux",
+    kind="lu",
+    grid_family="25d",
+    description="COnfLUX: 2.5D row-masking tournament-pivoted LU "
+    "(paper Algorithm 1)",
+)
+def _factor_conflux(
     a: np.ndarray,
     nranks: int,
     grid: tuple[int, int, int] | None = None,
@@ -687,3 +372,7 @@ def conflux_lu(
         residual=residual,
         meta={"active_ranks": g * g * c},
     )
+
+
+#: Deprecated alias — use ``factor("conflux", ...)``.
+conflux_lu = deprecated_alias("conflux_lu", "conflux")

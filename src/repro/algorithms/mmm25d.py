@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import register
+from repro.algorithms.api import register_algorithm
 from repro.algorithms.gridopt import optimize_grid_25d
 from repro.smpi import ProcessGrid3D, run_spmd
 from repro.smpi.volume import VolumeReport
@@ -87,7 +87,14 @@ def _mmm_rank_fn(comm, a: np.ndarray, b: np.ndarray, g: int, c: int):
     return {"active": True}
 
 
-@register("mmm25d")
+@register_algorithm(
+    "mmm25d",
+    kind="mmm",
+    grid_family="25d",
+    description="communication-optimal 2.5D matrix multiplication "
+    "(product, not a factorization — own signature)",
+    block_param="none",
+)
 def mmm25d(
     a: np.ndarray,
     b: np.ndarray,

@@ -31,10 +31,10 @@ import math
 
 import numpy as np
 
+from repro.algorithms.api import deprecated_alias, register_algorithm
 from repro.algorithms.base import (
     FactorResult,
     FactorVerificationError,
-    register,
     validate_input_matrix,
     verify_qr_factors,
 )
@@ -190,8 +190,15 @@ def _assemble_qr2d(
     return thin_q(v, tau_full), upper
 
 
-@register("qr2d")
-def qr2d_householder(
+@register_algorithm(
+    "qr2d",
+    kind="qr",
+    grid_family="2d",
+    description="ScaLAPACK-style 2D block-cyclic Householder QR "
+    "(pdgeqrf's schedule)",
+    block_param="nb",
+)
+def _factor_qr2d(
     a: np.ndarray,
     nranks: int,
     grid: tuple[int, int] | None = None,
@@ -246,3 +253,7 @@ def qr2d_householder(
             "active_ranks": prows * pcols,
         },
     )
+
+
+#: Deprecated alias — use ``factor("qr2d", ...)``.
+qr2d_householder = deprecated_alias("qr2d_householder", "qr2d")

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.api import deprecated_alias, register_algorithm
 from repro.algorithms.base import (
     FactorResult,
-    register,
     validate_input_matrix,
     verify_factors,
 )
@@ -264,8 +264,15 @@ def _run_2d(
     )
 
 
-@register("scalapack2d")
-def scalapack2d_lu(
+@register_algorithm(
+    "scalapack2d",
+    kind="lu",
+    grid_family="2d",
+    description="LibSci/ScaLAPACK-like 2D block-cyclic GEPP with "
+    "physical row swaps",
+    block_param="nb",
+)
+def _factor_scalapack2d(
     a: np.ndarray,
     nranks: int,
     grid: tuple[int, int] | None = None,
@@ -276,3 +283,7 @@ def scalapack2d_lu(
     physical row swaps, user-tunable block size (Table 2: "user param.
     required: yes")."""
     return _run_2d("scalapack2d", a, nranks, grid, nb, False, timeout)
+
+
+#: Deprecated alias — use ``factor("scalapack2d", ...)``.
+scalapack2d_lu = deprecated_alias("scalapack2d_lu", "scalapack2d")

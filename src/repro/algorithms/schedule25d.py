@@ -1,0 +1,579 @@
+"""Shared 2.5D schedule choreography — the [G, G, c] grid machinery.
+
+COnfLUX, the CANDMC-like LU, 2.5D Cholesky and 2.5D CAQR are instances
+of *one* near-optimal 2.5D schedule family (the journal extension of
+the source paper, arXiv:2108.09337): a [G, G, c] processor grid, a
+rotating panel owner, layer-chunked rank-v updates, step-scoped tag
+namespaces and a small vocabulary of reduction/scatter/fetch plans.
+This module encodes that choreography once; the per-algorithm modules
+keep only their numerical payload (tournament pivoting, dpotrf, TSQR
+trees) as :class:`Rank25D` panel/trailing hooks.
+
+:class:`Schedule25D` owns, per rank:
+
+* the :class:`~repro.smpi.grid.ProcessGrid3D` and this rank's
+  coordinates;
+* the **panel-owner rotation** — step t's panel lives on grid column
+  ``t mod G`` and is coordinated by layer ``t mod c``;
+* the **tag namespace** — every point-to-point phase tags its traffic
+  with the step index so a fast rank racing ahead into step t+1 cannot
+  intercept step t's messages;
+* **layer chunking** — the 1/c split of every rank-v update
+  (``chunking="split"``), or CANDMC-style full-width replication
+  (``chunking="replicate"``);
+* the **data layouts** — cyclic rows with v-wide column tiles (the
+  COnfLUX/Cholesky layout) or block-cyclic rows/panes (the CAQR
+  layout);
+* the **deterministic 1D assignments** every rank computes identically
+  (no index metadata ever travels — senders and receivers derive the
+  same packing, matching the paper's data-bytes accounting);
+* the communication plans: fiber reductions to the coordinating layer,
+  2.5D -> 1D scatters of panel rows / pivot-row column slices, and the
+  1D -> 2.5D panel fetches feeding the layer-chunked updates.
+
+The port of the rank programs onto this module is wire-identical to
+the pre-port implementations — ``tests/algorithms/
+test_ledger_regression.py`` pins per-rank bytes, message counts,
+phases and tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layouts.block_cyclic import BlockCyclic1D
+from repro.smpi import ProcessGrid3D
+
+#: Tag stride between consecutive steps: each step may use tag bases
+#: 0..TAG_STRIDE-1 within its namespace.
+TAG_STRIDE = 8
+
+
+@dataclass(frozen=True)
+class StepContext:
+    """Geometry of one elimination step, derived identically everywhere.
+
+    ``q`` is the grid column owning the panel tile (owner rotation) and
+    ``lt`` the layer coordinating the step's reductions; ``panel_cols``
+    are the global columns of the width-``w`` panel ``[k0, k1)``.
+    """
+
+    t: int
+    q: int
+    lt: int
+    k0: int
+    k1: int
+    w: int
+    panel_cols: np.ndarray
+
+
+class Schedule25D:
+    """Per-rank view of the shared [G, G, c] schedule.
+
+    Parameters
+    ----------
+    comm:
+        This rank's communicator (simulated or real-MPI; only the
+        duck-typed ``Comm`` surface is used).
+    n, g, c, v:
+        Problem size, grid rows/cols, replication depth, panel width.
+    chunking:
+        ``"split"`` ships each layer its 1/c chunk of every panel
+        (COnfLUX); ``"replicate"`` ships full-width panels to every
+        layer (the CANDMC-like baseline's factor-c overhead).
+    """
+
+    def __init__(
+        self,
+        comm,
+        n: int,
+        g: int,
+        c: int,
+        v: int,
+        chunking: str = "split",
+    ) -> None:
+        if chunking not in ("split", "replicate"):
+            raise ValueError(f"unknown chunking strategy {chunking!r}")
+        self.comm = comm
+        self.n = n
+        self.g = g
+        self.c = c
+        self.v = v
+        self.chunking = chunking
+        self.grid = ProcessGrid3D(comm, g, g, c)
+        self.active = self.grid.active
+        if not self.active:
+            return
+        gd = self.grid
+        self.pi, self.pj, self.layer = gd.row, gd.col, gd.layer
+        self.p_active = g * g * c
+        self.grid_rank = gd.grid_comm.rank
+
+    # ------------------------------------------------------------------
+    # step geometry: owner rotation + tag namespace
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        return (self.n + self.v - 1) // self.v
+
+    def step_context(self, t: int) -> StepContext:
+        k0 = t * self.v
+        k1 = min(k0 + self.v, self.n)
+        return StepContext(
+            t=t,
+            q=t % self.g,
+            lt=t % self.c,
+            k0=k0,
+            k1=k1,
+            w=k1 - k0,
+            panel_cols=np.arange(k0, k1),
+        )
+
+    def tag(self, base: int, t: int) -> int:
+        """Step-scoped tags: a fast rank may race ahead into step t+1,
+        so every point-to-point phase tags its traffic with the step."""
+        return base + TAG_STRIDE * t
+
+    # ------------------------------------------------------------------
+    # layer chunking
+    # ------------------------------------------------------------------
+    def sender_chunks(self, width: int) -> list[np.ndarray]:
+        """Per-layer column/row chunks a panel sender ships to layer l."""
+        if self.chunking == "replicate":
+            return [np.arange(width) for _ in range(self.c)]
+        return np.array_split(np.arange(width), self.c)
+
+    def my_chunk(self, width: int) -> np.ndarray:
+        """The slice of the panel THIS rank's layer applies in the
+        update (always the 1/c split, regardless of what was shipped —
+        the replicate strategy over-fetches)."""
+        return np.array_split(np.arange(width), self.c)[self.layer]
+
+    # ------------------------------------------------------------------
+    # deterministic 1D assignments (every rank computes them identically)
+    # ------------------------------------------------------------------
+    def assign_1d(self, items: np.ndarray, d: int) -> np.ndarray:
+        """Items assigned to active-grid rank ``d``: cyclic striding."""
+        return items[d :: self.p_active]
+
+    def owner_1d(self, position: int) -> int:
+        return position % self.p_active
+
+    # ------------------------------------------------------------------
+    # data layouts
+    # ------------------------------------------------------------------
+    def init_cyclic_layout(self) -> None:
+        """COnfLUX/Cholesky layout: rows cyclic over grid rows, columns
+        in v-wide tiles with tile b on grid column ``b mod G``."""
+        n, g, v = self.n, self.g, self.v
+        self.my_rows = np.arange(self.pi, n, g)
+        col_blocks = np.arange(self.pj, (n + v - 1) // v, g)
+        self.my_col_blocks = col_blocks
+        cols = [np.arange(b * v, min((b + 1) * v, n)) for b in col_blocks]
+        self.my_cols = (
+            np.concatenate(cols) if cols else np.array([], dtype=int)
+        )
+        # global -> local lookups (dense arrays; -1 = not mine)
+        self.row_g2l = np.full(n, -1)
+        self.row_g2l[self.my_rows] = np.arange(len(self.my_rows))
+        self.col_g2l = np.full(n, -1)
+        self.col_g2l[self.my_cols] = np.arange(len(self.my_cols))
+
+    def init_block_cyclic_layout(self) -> None:
+        """CAQR layout: rows block-cyclic over the G grid rows (each
+        diagonal block owns its TSQR root) and columns block-cyclic over
+        the G*c (column, layer) slots so every layer holds a disjoint
+        pane and works every step."""
+        n, g, c, v = self.n, self.g, self.c, self.v
+        self.rowmap = BlockCyclic1D(n, g, v)
+        self.colmap = BlockCyclic1D(n, g * c, v)
+        self.slot = self.layer * g + self.pj
+        self.rows_by_grid_row = [
+            self.rowmap.global_indices(i) for i in range(g)
+        ]
+        self.my_rows = self.rows_by_grid_row[self.pi]
+        self.my_cols = self.colmap.global_indices(self.slot)
+        self.col_g2l = np.full(n, -1)
+        self.col_g2l[self.my_cols] = np.arange(len(self.my_cols))
+
+    def local_block(self, a: np.ndarray, replicated: bool = False):
+        """This rank's initial local block.
+
+        Layer 0 holds the (pre-distributed) matrix; unless the layout is
+        ``replicated`` (every layer holds its own pane, as in CAQR), the
+        other layers start as zero partial-sum accumulators.
+        """
+        if replicated or self.layer == 0:
+            return a[np.ix_(self.my_rows, self.my_cols)].copy()
+        return np.zeros((len(self.my_rows), len(self.my_cols)))
+
+    def trailing_local_cols(self, t: int) -> np.ndarray:
+        """Local column indices belonging to tiles > t (cyclic layout)."""
+        return np.where(self.my_cols >= (t + 1) * self.v)[0]
+
+    # ------------------------------------------------------------------
+    # reduction / broadcast plans
+    # ------------------------------------------------------------------
+    def reduce_to_layer(self, phase: str, contrib, lt: int):
+        """Fiber-reduce partial sums to the coordinating layer; returns
+        the true values on layer ``lt``, None elsewhere."""
+        with self.comm.phase(phase):
+            reduced = self.grid.fiber_comm.reduce(contrib, root=lt)
+        return reduced if self.layer == lt else None
+
+    def bcast_from(self, phase: str, payload, root_coords):
+        """Broadcast from grid coordinates to all active ranks."""
+        with self.comm.phase(phase):
+            root = self.grid.rank_of(*root_coords)
+            return self.grid.grid_comm.bcast(payload, root=root)
+
+    def pane_bcast(self, phase: str, payload, qj: int, ql: int):
+        """Fan a panel pane's payload out to the G*c - 1 sibling panes:
+        along the grid row on the owning layer, then along fibers."""
+        with self.comm.phase(phase):
+            if self.layer == ql:
+                payload = self.grid.row_comm.bcast(payload, root=qj)
+            return self.grid.fiber_comm.bcast(payload, root=ql)
+
+    # ------------------------------------------------------------------
+    # 2.5D -> 1D scatters
+    # ------------------------------------------------------------------
+    def scatter_rows(
+        self,
+        t: int,
+        phase: str,
+        tag: int,
+        row_pool: np.ndarray,
+        holder,
+        values: np.ndarray | None,
+        value_rows: np.ndarray | None,
+    ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Holders of true panel rows send each 1D-assigned rank its
+        rows.  Returns {source_grid_rank: (row_ids, values)} for this
+        rank's incoming pieces (self-deliveries included).
+
+        Wire messages carry *values only*: both sides derive the row ids
+        from the shared deterministic assignment (pool position -> 1D
+        owner) and the ``holder`` map, so no index metadata inflates the
+        measured volume — matching the paper's data-bytes accounting.
+        """
+        comm, gd = self.comm, self.grid
+        received: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        owners = np.arange(len(row_pool)) % self.p_active
+
+        # sender side: I hold true values for value_rows (panel ranks on
+        # layer lt only).
+        if values is not None and value_rows is not None:
+            lookup = {int(r): i for i, r in enumerate(value_rows)}
+            me = self.grid_rank
+            by_dest: dict[int, list[int]] = {}
+            for pos, r in enumerate(row_pool):
+                if int(r) in lookup and holder(int(r)) == me:
+                    by_dest.setdefault(int(owners[pos]), []).append(int(r))
+            with comm.phase(phase):
+                for dest, rows in sorted(by_dest.items()):
+                    vals = values[[lookup[r] for r in rows], :]
+                    if dest == me:
+                        received[me] = (np.array(rows), vals)
+                    else:
+                        gd.grid_comm.send(vals, dest, tag)
+
+        # receiver side: my assigned rows, grouped by source holder in
+        # pool order (the exact order the sender packed them in).
+        mine_mask = owners == self.grid_rank
+        by_src: dict[int, list[int]] = {}
+        for r in row_pool[mine_mask]:
+            by_src.setdefault(holder(int(r)), []).append(int(r))
+        for src in sorted(by_src):
+            if src == self.grid_rank:
+                continue  # already self-delivered
+            vals = gd.grid_comm.recv(src, tag)
+            received[src] = (np.array(by_src[src]), vals)
+        return received
+
+    def assemble_rows(
+        self,
+        received: dict[int, tuple[np.ndarray, np.ndarray]],
+        wanted_rows: np.ndarray,
+        w: int,
+    ) -> np.ndarray:
+        out = np.zeros((len(wanted_rows), w))
+        pos = {int(r): i for i, r in enumerate(wanted_rows)}
+        filled = 0
+        for ids, vals in received.values():
+            for i, r in enumerate(ids):
+                out[pos[int(r)], :] = vals[i, :]
+                filled += 1
+        if filled != len(wanted_rows):
+            raise RuntimeError(
+                f"row scatter incomplete: {filled}/{len(wanted_rows)} rows"
+            )
+        return out
+
+    def scatter_pivot_cols(
+        self,
+        t: int,
+        phase: str,
+        tag: int,
+        pivot_ids: np.ndarray,
+        pivot_true: np.ndarray | None,
+        my_pivot_rows: np.ndarray,
+        my_trail_cols: np.ndarray,
+        my_assigned_cols: np.ndarray,
+    ) -> np.ndarray:
+        """Reduced pivot-row holders send column slices to the 1D-over-
+        columns layout; returns the assembled (w x assigned) block in
+        pivot order.
+
+        Canonical packing (derived, never transmitted): rows in pivot
+        order restricted to the sender's grid row; columns in trailing-
+        pool order restricted to (destination 1D share) x (sender's grid
+        column tiles).
+        """
+        comm, gd = self.comm, self.grid
+        g, c, v = self.g, self.c, self.v
+        lt = t % c
+        w = len(pivot_ids)
+        all_trailing = np.arange((t + 1) * v, self.n)
+        owners = np.arange(len(all_trailing)) % self.p_active
+        tile_col = (all_trailing // v) % g  # grid column of each col
+
+        out = np.zeros((w, len(my_assigned_cols)))
+
+        # sender side: on layer lt with pivot rows and trailing cols.
+        if pivot_true is not None and len(my_pivot_rows):
+            # rows I hold, in pivot order (pivot_true rows are ordered by
+            # my_pivot_rows = pivot_ids filtered to my grid row).
+            mine_cols_mask = tile_col == self.pj
+            with comm.phase(phase):
+                for dest in range(self.p_active):
+                    sel = mine_cols_mask & (owners == dest)
+                    if not sel.any():
+                        continue
+                    cols = all_trailing[sel]
+                    # map local col ids to positions within my_trail_cols
+                    trail_pos = np.searchsorted(my_trail_cols, cols)
+                    vals = pivot_true[:, trail_pos]
+                    if dest == self.grid_rank:
+                        self._pivot_cols_self = (cols, vals)
+                    else:
+                        gd.grid_comm.send(vals, dest, tag)
+
+        # receiver side.
+        if len(my_assigned_cols) == 0:
+            self.__dict__.pop("_pivot_cols_self", None)
+            return out
+        col_pos = {int(cc): i for i, cc in enumerate(my_assigned_cols)}
+        pivot_order_pos = {int(r): i for i, r in enumerate(pivot_ids)}
+        # grid rows that own at least one pivot row
+        rows_by_gridrow: dict[int, list[int]] = {}
+        for r in pivot_ids:
+            rows_by_gridrow.setdefault(int(r) % g, []).append(int(r))
+        # my assigned cols grouped by owning grid column
+        my_tiles = (my_assigned_cols // v) % g
+        for pj in range(g):
+            cols_from = my_assigned_cols[my_tiles == pj]
+            if len(cols_from) == 0:
+                continue
+            for i, rows in sorted(rows_by_gridrow.items()):
+                src = gd.rank_of(i, pj, lt)
+                if src == self.grid_rank:
+                    cols, vals = self._pivot_cols_self
+                else:
+                    vals = gd.grid_comm.recv(src, tag)
+                    cols = cols_from
+                for ri, r in enumerate(rows):
+                    for ci, cc in enumerate(cols):
+                        out[pivot_order_pos[r], col_pos[int(cc)]] = vals[
+                            ri, ci
+                        ]
+        self.__dict__.pop("_pivot_cols_self", None)
+        return out
+
+    # ------------------------------------------------------------------
+    # 1D -> 2.5D panel fetches
+    # ------------------------------------------------------------------
+    def fetch_rows_piece(
+        self,
+        t: int,
+        phase: str,
+        tag: int,
+        pool: np.ndarray,
+        vals_1d: np.ndarray,
+        my_1d_rows: np.ndarray,
+        chunk: np.ndarray,
+        need_rows_of,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Redistribute a row panel from the 1D layout to the 2.5D
+        layout: destination (i, j, l) receives ``need_rows_of(rows, i,
+        j)`` x chunk_l.  Values-only messages; ids derived from the
+        shared assignment."""
+        comm, gd = self.comm, self.grid
+        g, c = self.g, self.c
+        with comm.phase(phase):
+            if len(my_1d_rows):
+                sender_chunks = self.sender_chunks(vals_1d.shape[1])
+                for i in range(g):
+                    for j in range(g):
+                        dest_rows = need_rows_of(my_1d_rows, i, j)
+                        if len(dest_rows) == 0:
+                            continue
+                        mask = np.isin(my_1d_rows, dest_rows)
+                        for l in range(c):
+                            lchunk = sender_chunks[l]
+                            if len(lchunk) == 0:
+                                continue
+                            dest = gd.rank_of(i, j, l)
+                            vals = vals_1d[np.ix_(mask, lchunk)]
+                            if dest == self.grid_rank:
+                                self._rows_piece_self = vals
+                            else:
+                                gd.grid_comm.send(vals, dest, tag)
+        my_need = need_rows_of(pool, self.pi, self.pj)
+        if len(my_need) == 0 or len(chunk) == 0:
+            self.__dict__.pop("_rows_piece_self", None)
+            return np.zeros((0, len(chunk))), my_need
+        out = np.zeros((len(my_need), len(chunk)))
+        pos = {int(r): i for i, r in enumerate(my_need)}
+        # rows grouped by their 1D owner, in the owner's packing order
+        # (assign_1d order filtered to this rank's needs).
+        got = 0
+        for src in range(self.p_active):
+            src_rows = need_rows_of(
+                self.assign_1d(pool, src), self.pi, self.pj
+            )
+            if len(src_rows) == 0:
+                continue
+            if src == self.grid_rank:
+                vals = self._rows_piece_self
+            else:
+                vals = gd.grid_comm.recv(src, tag)
+            for i, r in enumerate(src_rows):
+                out[pos[int(r)], :] = vals[i, :]
+                got += 1
+        self.__dict__.pop("_rows_piece_self", None)
+        if got != len(my_need):
+            raise RuntimeError(
+                f"row panel fetch incomplete: {got}/{len(my_need)}"
+            )
+        return out, my_need
+
+    def fetch_cols_piece(
+        self,
+        t: int,
+        phase: str,
+        tag: int,
+        pool: np.ndarray,
+        vals_1d: np.ndarray,
+        my_1d_cols: np.ndarray,
+        chunk: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Column analogue of :meth:`fetch_rows_piece`: every rank needs
+        chunk_l x (trailing cols in its tiles).  Values-only messages."""
+        comm, gd = self.comm, self.grid
+        g, c, v = self.g, self.c, self.v
+        with comm.phase(phase):
+            if len(my_1d_cols):
+                sender_chunks = self.sender_chunks(vals_1d.shape[0])
+                for j in range(g):
+                    mask = ((my_1d_cols // v) % g) == j
+                    if not mask.any():
+                        continue
+                    for i in range(g):
+                        for l in range(c):
+                            lchunk = sender_chunks[l]
+                            if len(lchunk) == 0:
+                                continue
+                            dest = gd.rank_of(i, j, l)
+                            vals = vals_1d[np.ix_(lchunk, mask)]
+                            if dest == self.grid_rank:
+                                self._cols_piece_self = vals
+                            else:
+                                gd.grid_comm.send(vals, dest, tag)
+        my_need = pool[((pool // v) % g) == self.pj]
+        if len(my_need) == 0 or len(chunk) == 0:
+            self.__dict__.pop("_cols_piece_self", None)
+            return np.zeros((len(chunk), 0)), my_need
+        out = np.zeros((len(chunk), len(my_need)))
+        pos = {int(cc): i for i, cc in enumerate(my_need)}
+        got = 0
+        for src in range(self.p_active):
+            src_cols = self.assign_1d(pool, src)
+            src_cols = src_cols[((src_cols // v) % g) == self.pj]
+            if len(src_cols) == 0:
+                continue
+            if src == self.grid_rank:
+                vals = self._cols_piece_self
+            else:
+                vals = gd.grid_comm.recv(src, tag)
+            for i, cc in enumerate(src_cols):
+                out[:, pos[int(cc)]] = vals[:, i]
+                got += 1
+        self.__dict__.pop("_cols_piece_self", None)
+        if got != len(my_need):
+            raise RuntimeError(
+                f"column panel fetch incomplete: {got}/{len(my_need)}"
+            )
+        return out, my_need
+
+
+class Rank25D:
+    """Template rank program: one :class:`Schedule25D` + two hooks.
+
+    Subclasses set :attr:`chunking`, build their local state in
+    :meth:`setup`, and implement :meth:`panel_op` (factor the step's
+    panel — reduce, pivot/factor, broadcast) and :meth:`trailing_op`
+    (apply it to the trailing matrix).  ``run`` drives the shared step
+    loop; whatever ``panel_op`` returns is handed to ``trailing_op``.
+    """
+
+    chunking = "split"
+
+    def __init__(self, comm, a: np.ndarray, g: int, c: int, v: int):
+        self.comm = comm
+        self.n = a.shape[0]
+        self.g = g
+        self.c = c
+        self.v = v
+        self.sched = Schedule25D(
+            comm, self.n, g, c, v, chunking=self.chunking
+        )
+        self.grid = self.sched.grid
+        self.active = self.sched.active
+        if not self.active:
+            return
+        sched = self.sched
+        self.pi, self.pj, self.layer = sched.pi, sched.pj, sched.layer
+        self.p_active = sched.p_active
+        self.grid_rank = sched.grid_rank
+        self.setup(a)
+
+    # -- subclass surface ----------------------------------------------
+    def setup(self, a: np.ndarray) -> None:
+        """Build layout-dependent local state (called on active ranks)."""
+        raise NotImplementedError
+
+    def panel_op(self, ctx: StepContext):
+        """Factor step ``ctx``'s panel; the return value feeds
+        :meth:`trailing_op`."""
+        raise NotImplementedError
+
+    def trailing_op(self, ctx: StepContext, panel) -> None:
+        """Apply the factored panel to the trailing matrix."""
+        raise NotImplementedError
+
+    def finalize(self) -> dict:
+        """Per-rank result payload for host-side assembly."""
+        return {"active": True}
+
+    # -- template ------------------------------------------------------
+    def run(self) -> dict:
+        if not self.active:
+            return {"active": False}
+        for t in range(self.sched.steps):
+            ctx = self.sched.step_context(t)
+            panel = self.panel_op(ctx)
+            self.trailing_op(ctx, panel)
+        return self.finalize()

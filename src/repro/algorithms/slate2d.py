@@ -15,12 +15,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import FactorResult, register
+from repro.algorithms.api import deprecated_alias, register_algorithm
+from repro.algorithms.base import FactorResult
 from repro.algorithms.scalapack2d import _run_2d
 
 
-@register("slate2d")
-def slate2d_lu(
+@register_algorithm(
+    "slate2d",
+    kind="lu",
+    grid_family="2d",
+    description="SLATE-like 2D LU: same GEPP engine, SLATE defaults "
+    "(nb=16, tall grids)",
+    block_param="nb",
+)
+def _factor_slate2d(
     a: np.ndarray,
     nranks: int,
     grid: tuple[int, int] | None = None,
@@ -30,3 +38,7 @@ def slate2d_lu(
     """SLATE-like LU: 2D block layout, default block size 16, no user
     tuning required."""
     return _run_2d("slate2d", a, nranks, grid, nb, True, timeout)
+
+
+#: Deprecated alias — use ``factor("slate2d", ...)``.
+slate2d_lu = deprecated_alias("slate2d_lu", "slate2d")

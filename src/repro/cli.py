@@ -2,8 +2,9 @@
 
 Commands
 --------
-factor   factor a random matrix with any implementation, report
-         residual + volume (phase breakdown with -v)
+factor   factor a random matrix with any registered algorithm
+         (``--algo``, capabilities via ``--list``), report residual +
+         volume (phase breakdown with -v)
 bounds   print the I/O lower bound of a kernel (lu / mmm / cholesky)
 plan     Processor Grid Optimization + model predictions for a machine
 models   evaluate the Table 2 models at one (N, P)
@@ -20,10 +21,30 @@ import numpy as np
 
 
 def _cmd_factor(args: argparse.Namespace) -> int:
-    from repro.algorithms import factor_by_name
+    from repro.algorithms import factor, get_algorithm, list_algorithms
+
+    if args.list:
+        print(f"{'name':<13} {'kind':<5} {'grid':<5} {'block':<6} "
+              f"{'dtypes':<17} description")
+        for info in list_algorithms():
+            print(f"{info.name:<13} {info.kind:<5} "
+                  f"{info.grid_family:<5} {info.block_param:<6} "
+                  f"{','.join(info.dtypes):<17} {info.description}")
+        return 0
+
+    try:
+        info = get_algorithm(args.algo)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        raise SystemExit(2)
+    if info.kind == "mmm":
+        print(f"error: {info.name} computes a product, not a "
+              f"factorization; call repro.algorithms.mmm25d() directly",
+              file=sys.stderr)
+        raise SystemExit(2)
 
     rng = np.random.default_rng(args.seed)
-    if args.impl == "cholesky25d":
+    if info.kind == "chol":
         b = rng.standard_normal((args.n, args.n))
         a = b @ b.T + args.n * np.eye(args.n)
     else:
@@ -33,7 +54,7 @@ def _cmd_factor(args: argparse.Namespace) -> int:
         kwargs["v"] = args.v
     if args.nb is not None:
         kwargs["nb"] = args.nb
-    res = factor_by_name(args.impl, a, args.p, **kwargs)
+    res = factor(info.name, a, args.p, **kwargs)
     print(res.describe())
     print(f"per-rank volume: {res.volume.per_rank_bytes:,.0f} B")
     if "orthogonality" in res.meta:
@@ -215,10 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     f = sub.add_parser("factor", help="run a distributed factorization")
-    f.add_argument("--impl", default="conflux",
-                   choices=["conflux", "scalapack2d", "slate2d",
-                            "candmc25d", "cholesky25d", "caqr25d",
-                            "qr2d"])
+    f.add_argument("--algo", "--impl", dest="algo", default="conflux",
+                   metavar="NAME",
+                   help="registered algorithm name (see --list)")
+    f.add_argument("--list", action="store_true",
+                   help="list registered algorithms and capabilities")
     f.add_argument("--n", type=int, default=256)
     f.add_argument("--p", type=int, default=16)
     f.add_argument("--v", type=int, default=None, help="2.5D block size")

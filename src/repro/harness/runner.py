@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.algorithms import factor_by_name
+from repro.algorithms import factor
 from repro.algorithms.gridopt import choose_grid_2d, optimize_grid_25d
 from repro.models.costmodels import (
     candmc_sim_total_bytes,
@@ -153,7 +153,7 @@ def run_experiment(
     if a is None:
         a = np.random.default_rng(seed).standard_normal((n, n))
     params = pick_params(impl, n, p, v=v, nb=nb)
-    result = factor_by_name(impl, a, p, **params)
+    result = factor(impl, a, p, **params)
     if result.residual > 1e-10:
         raise RuntimeError(
             f"{impl} produced residual {result.residual:.2e} at "

@@ -157,10 +157,10 @@ def block_size_task(n: int, g: int, c: int, v: int, seed: int = 3) -> dict:
     """Blocking-parameter ablation: one COnfLUX run at block size v."""
     import numpy as np
 
-    from repro.algorithms import conflux_lu
+    from repro.algorithms import factor
 
     a = np.random.default_rng(seed).standard_normal((n, n))
-    res = conflux_lu(a, g * g * c, grid=(g, g, c), v=v)
+    res = factor("conflux", a, grid=(g, g, c), v=v)
     return {
         "v": v,
         "n": n,

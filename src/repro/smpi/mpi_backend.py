@@ -2,14 +2,19 @@
 
 The distributed algorithms only touch the duck-typed ``Comm`` surface
 (point-to-point + the collectives layered on it in
-:mod:`repro.smpi.collectives`), so the same rank functions run unchanged
-on a real cluster::
+:mod:`repro.smpi.collectives`).  Since the 2.5D family was unified on
+:class:`repro.algorithms.schedule25d.Schedule25D`, that class is the
+single choreography consumer of this surface — every grid send/recv,
+scatter, fetch, reduction and broadcast a 2.5D factorization issues
+goes through its helpers — so the same rank classes run unchanged on a
+real cluster::
 
     # launched as: mpiexec -n 64 python my_run.py
+    from repro.algorithms.conflux import _ConfluxRank
     from repro.smpi.mpi_backend import mpi_world
     comm = mpi_world()
-    result = _conflux_rank_fn(comm, a, g, c, v)   # same code as simulated
-    report = comm.aggregate_report()              # Score-P-style totals
+    result = _ConfluxRank(comm, a, g, c, v).run()  # same code as simulated
+    report = comm.aggregate_report()               # Score-P-style totals
 
 Byte accounting works exactly as in the simulator: sends are counted at
 the sender with :func:`repro.smpi.runtime.payload_nbytes`, collectives

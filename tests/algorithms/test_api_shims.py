@@ -1,0 +1,92 @@
+"""Deprecation shims over ``factor()``: each historical entry point
+warns exactly once per process and returns bit-identical results."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    candmc25d_lu,
+    caqr25d_qr,
+    cholesky25d_lu,
+    conflux_lu,
+    factor,
+    qr2d_householder,
+    scalapack2d_lu,
+    slate2d_lu,
+)
+from repro.algorithms import api
+
+N, P = 16, 4
+
+
+def _dense() -> np.ndarray:
+    return np.random.default_rng(7).standard_normal((N, N))
+
+
+def _spd() -> np.ndarray:
+    b = _dense()
+    return b @ b.T + N * np.eye(N)
+
+
+#: (shim, canonical name, input builder, kwargs) for all 7 shims.
+SHIMS = [
+    (conflux_lu, "conflux", _dense, {"v": 4}),
+    (candmc25d_lu, "candmc25d", _dense, {"v": 4}),
+    (cholesky25d_lu, "cholesky25d", _spd, {"v": 4}),
+    (caqr25d_qr, "caqr25d", _dense, {"v": 4}),
+    (qr2d_householder, "qr2d", _dense, {"nb": 4}),
+    (scalapack2d_lu, "scalapack2d", _dense, {"nb": 4}),
+    (slate2d_lu, "slate2d", _dense, {"nb": 4}),
+]
+IDS = [shim.__name__ for shim, *_ in SHIMS]
+
+
+@pytest.mark.parametrize("shim, new, make, kwargs", SHIMS, ids=IDS)
+def test_shim_warns_once_and_is_bit_identical(shim, new, make, kwargs):
+    a = make()
+    old = shim.__name__
+
+    api._reset_shim_warnings()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = shim(a, P, **kwargs)
+    dep = [w for w in caught if w.category is DeprecationWarning]
+    assert len(dep) == 1
+    msg = str(dep[0].message)
+    assert old in msg and f"factor({new!r}" in msg
+
+    # The second call must be silent.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        second = shim(a, P, **kwargs)
+    assert not [w for w in caught if w.category is DeprecationWarning]
+
+    ref = factor(new, a, P, **kwargs)
+    for res in (first, second):
+        assert res.name == ref.name
+        assert res.grid == ref.grid
+        assert res.block == ref.block
+        assert np.array_equal(res.lower, ref.lower)
+        assert np.array_equal(res.upper, ref.upper)
+        assert np.array_equal(res.perm, ref.perm)
+        assert res.volume.total_bytes == ref.volume.total_bytes
+
+
+def test_shim_accepts_positional_grid():
+    """Old signatures allowed ``conflux_lu(a, nranks, grid)``."""
+    a = _dense()
+    api._reset_shim_warnings()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        res = conflux_lu(a, 8, (2, 2, 2), v=4)
+    ref = factor("conflux", a, grid=(2, 2, 2), v=4)
+    assert res.grid == ref.grid == (2, 2, 2)
+    assert np.array_equal(res.lower, ref.lower)
+
+
+def test_shims_keep_their_historical_names():
+    for shim, new, *_ in SHIMS:
+        assert shim.__name__ != new
+        assert "Deprecated alias" in shim.__doc__

@@ -1,0 +1,44 @@
+"""Differential-ledger regression for the Schedule25D port.
+
+The pinned ledgers in ``tests/data/ledger_pins.json`` were captured
+from the pre-port implementations of the 2.5D family.  Porting the rank
+programs onto the shared :class:`Schedule25D` choreography must not
+change a single message: per-rank sent/received bytes, message counts,
+per-phase attribution and the per-tag send census all have to match
+exactly — volume equality alone would hide re-grouped or re-tagged
+traffic.
+"""
+
+import pytest
+
+from tests.algorithms.ledger_pins import (
+    PINNED_POINTS,
+    collect_ledger,
+    load_pins,
+    point_key,
+)
+
+
+@pytest.fixture(scope="module")
+def pins():
+    return load_pins()
+
+
+def test_pin_file_covers_every_pinned_point(pins):
+    assert sorted(pins) == sorted(point_key(*p) for p in PINNED_POINTS)
+
+
+@pytest.mark.parametrize(
+    "point", PINNED_POINTS, ids=[point_key(*p) for p in PINNED_POINTS]
+)
+def test_wire_ledger_is_unchanged(point, pins):
+    expected = pins[point_key(*point)]
+    actual = collect_ledger(*point)
+    # Field-by-field for readable failures; the per-rank tuples pin the
+    # exact message grouping, the tag census pins the tag namespaces.
+    assert actual["sent_bytes"] == expected["sent_bytes"]
+    assert actual["recv_bytes"] == expected["recv_bytes"]
+    assert actual["messages"] == expected["messages"]
+    assert actual["phase_bytes"] == expected["phase_bytes"]
+    assert actual["phase_messages"] == expected["phase_messages"]
+    assert actual["tags"] == expected["tags"]

@@ -1,0 +1,67 @@
+"""Public-API snapshot: ``repro.algorithms.__all__`` and the registry's
+declared capabilities must match the checked-in snapshot.
+
+Changing the public surface is allowed — but it has to be deliberate:
+regenerate ``tests/data/api_surface.json`` in the same commit and the
+diff will show exactly what was added, removed or re-declared.
+"""
+
+import json
+from pathlib import Path
+
+import repro.algorithms as alg
+from repro.algorithms.api import KINDS, GRID_FAMILIES, REGISTRY
+
+SNAPSHOT = Path(__file__).parent / "data" / "api_surface.json"
+
+
+def _current_surface() -> dict:
+    return {
+        "all": list(alg.__all__),
+        "registry": {
+            name: {
+                "kind": info.kind,
+                "grid_family": info.grid_family,
+                "dtypes": list(info.dtypes),
+                "block_param": info.block_param,
+            }
+            for name, info in sorted(REGISTRY.items())
+        },
+    }
+
+
+def test_public_surface_matches_snapshot():
+    snap = json.loads(SNAPSHOT.read_text())
+    current = _current_surface()
+    assert current["all"] == snap["all"], (
+        "repro.algorithms.__all__ changed; if intentional, regenerate "
+        "tests/data/api_surface.json"
+    )
+    assert current["registry"] == snap["registry"], (
+        "registry capabilities changed; if intentional, regenerate "
+        "tests/data/api_surface.json"
+    )
+
+
+def test_all_is_sorted_and_importable():
+    assert list(alg.__all__) == sorted(alg.__all__)
+    for name in alg.__all__:
+        assert getattr(alg, name, None) is not None, name
+
+
+def test_registry_entries_are_well_formed():
+    for name, info in REGISTRY.items():
+        assert info.name == name
+        assert info.kind in KINDS
+        assert info.grid_family in GRID_FAMILIES
+        assert info.dtypes
+        assert callable(info.func)
+        assert info.description
+
+
+def test_every_registered_name_reaches_factor_by_name():
+    """api.register_algorithm also fills the legacy dispatch map."""
+    from repro.algorithms.base import IMPLEMENTATIONS
+
+    for name, info in REGISTRY.items():
+        assert IMPLEMENTATIONS[name] is info.func

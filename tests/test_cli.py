@@ -66,6 +66,30 @@ class TestFactorCommand:
         with pytest.raises(SystemExit):
             main(["factor", "--impl", "mkl"])
 
+    def test_algo_flag_is_canonical(self, capsys):
+        rc = main(["factor", "--algo", "slate2d", "--n", "32",
+                   "--p", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "slate2d" in out
+
+    def test_list_shows_capabilities(self, capsys):
+        rc = main(["factor", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("conflux", "scalapack2d", "slate2d", "candmc25d",
+                     "cholesky25d", "caqr25d", "qr2d", "mmm25d"):
+            assert name in out
+        assert "chol" in out
+        assert "25d" in out and "2d" in out
+        assert "float64" in out
+
+    def test_mmm_rejected_with_pointer(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["factor", "--algo", "mmm25d", "--n", "16",
+                  "--p", "4"])
+        assert "mmm25d()" in capsys.readouterr().err
+
 
 class TestBoundsCommand:
     def test_lu_bounds(self, capsys):
