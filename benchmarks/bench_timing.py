@@ -1,0 +1,223 @@
+"""E13 — predicted-time trajectory: ``BENCH_timing.json``.
+
+The discrete-event clock turns the byte ledger into predicted seconds;
+this benchmark freezes those predictions for the ``table2-time`` and
+``qr-strong-time`` grids into a machine-readable artifact — the repo's
+first perf-trajectory file.  CI regenerates it on every run and
+validates it against the schema below, so the predicted-time surface
+is tracked commit to commit the same way the volume pins are.
+
+Also runnable standalone (the CI timing-smoke job does exactly this)::
+
+    python benchmarks/bench_timing.py --out BENCH_timing.json
+    python benchmarks/bench_timing.py --validate BENCH_timing.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Artifact schema, hand-rolled (no jsonschema dependency in the
+#: container): field name -> required type(s) for every point row.
+SCHEMA_VERSION = 1
+_POINT_FIELDS = {
+    "sweep": str,
+    "impl": str,
+    "n": int,
+    "p": int,
+    "machine": str,
+    "grid": list,
+    "predicted_seconds": float,
+    "compute_seconds": float,
+    "comm_seconds": float,
+    "measured_bytes": int,
+}
+
+
+def timing_rows(
+    cache=None, max_points: int | None = None, workers: int = 1
+) -> list[dict]:
+    """Run the two ``*-time`` sweeps; rows tagged with their sweep."""
+    from repro.harness.specs import (
+        qr_strong_time_spec,
+        table2_time_spec,
+    )
+    from repro.harness.sweep import run_sweep
+
+    rows: list[dict] = []
+    for spec in (table2_time_spec(), qr_strong_time_spec()):
+        result = run_sweep(
+            spec, workers=workers, cache=cache, max_points=max_points
+        )
+        for row in result.rows(strict=True):
+            rows.append({"sweep": spec.name, **row})
+    return rows
+
+
+def build_artifact(rows: list[dict]) -> dict:
+    """The BENCH_timing.json document for a set of sweep rows."""
+    points = [
+        {
+            "sweep": row["sweep"],
+            "impl": row["impl"],
+            "n": int(row["n"]),
+            "p": int(row["p"]),
+            "machine": row["machine"],
+            "grid": list(row["grid"]),
+            "predicted_seconds": float(row["predicted_seconds"]),
+            "compute_seconds": float(row["compute_seconds"]),
+            "comm_seconds": float(row["comm_seconds"]),
+            "measured_bytes": int(row["measured_bytes"]),
+        }
+        for row in rows
+    ]
+    points.sort(
+        key=lambda r: (r["sweep"], r["impl"], r["n"], r["p"], r["machine"])
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "sweeps": sorted({p["sweep"] for p in points}),
+        "machines": sorted({p["machine"] for p in points}),
+        "points": points,
+    }
+
+
+def validate_artifact(doc: dict) -> list[str]:
+    """Schema check; returns a list of violations (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {doc.get('schema_version')!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+    for key in ("sweeps", "machines", "points"):
+        if not isinstance(doc.get(key), list):
+            errors.append(f"missing or non-list field {key!r}")
+    if errors:
+        return errors
+    if not doc["points"]:
+        errors.append("no points")
+    for i, point in enumerate(doc["points"]):
+        for field, typ in _POINT_FIELDS.items():
+            value = point.get(field)
+            if not isinstance(value, typ) or isinstance(value, bool):
+                errors.append(
+                    f"points[{i}].{field}: expected {typ.__name__}, "
+                    f"got {value!r}"
+                )
+                continue
+            if field.endswith("_seconds") and value < 0:
+                errors.append(f"points[{i}].{field}: negative time")
+        if point.get("machine") not in doc["machines"]:
+            errors.append(
+                f"points[{i}].machine {point.get('machine')!r} not in "
+                f"the machines list"
+            )
+        if point.get("sweep") not in doc["sweeps"]:
+            errors.append(
+                f"points[{i}].sweep {point.get('sweep')!r} not in "
+                f"the sweeps list"
+            )
+    return errors
+
+
+# --------------------------------------------------------------------------
+# pytest entry point
+# --------------------------------------------------------------------------
+
+
+def test_timing_trajectory_artifact(benchmark, show, sweep_cache):
+    rows = benchmark.pedantic(
+        timing_rows,
+        kwargs={"cache": sweep_cache},
+        rounds=1,
+        iterations=1,
+    )
+    doc = build_artifact(rows)
+    assert validate_artifact(doc) == []
+    from repro.harness import format_table
+
+    show(format_table(
+        rows,
+        [
+            ("sweep", "sweep"),
+            ("impl", "implementation"),
+            ("n", "N"),
+            ("p", "P"),
+            ("machine", "machine"),
+            ("predicted_seconds", "predicted [s]"),
+            ("comm_seconds", "comm [s]"),
+            ("compute_seconds", "compute [s]"),
+        ],
+        title="Predicted time trajectory (table2-time + qr-strong-time)",
+    ))
+    by_machine: dict[tuple, dict[str, float]] = {}
+    for p in doc["points"]:
+        key = (p["sweep"], p["impl"], p["n"], p["p"])
+        by_machine.setdefault(key, {})[p["machine"]] = (
+            p["predicted_seconds"]
+        )
+    for key, preds in by_machine.items():
+        # Every grid point is predicted under both presets, and the
+        # prediction reacts to the machine (different α-β-γ ⇒
+        # different clock).
+        assert len(preds) == 2, key
+        times = list(preds.values())
+        assert times[0] != times[1], key
+
+
+# --------------------------------------------------------------------------
+# standalone CLI (used by the CI timing-smoke job)
+# --------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="generate / validate the BENCH_timing.json artifact"
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--out", metavar="PATH",
+                      help="run the *-time sweeps and write the artifact")
+    mode.add_argument("--validate", metavar="PATH",
+                      help="schema-check an existing artifact")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--max-points", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as fh:
+            doc = json.load(fh)
+        errors = validate_artifact(doc)
+        if errors:
+            for err in errors:
+                print(f"INVALID: {err}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.validate}: valid ({len(doc['points'])} points, "
+            f"machines {', '.join(doc['machines'])})"
+        )
+        return 0
+
+    rows = timing_rows(
+        max_points=args.max_points, workers=args.workers
+    )
+    doc = build_artifact(rows)
+    errors = validate_artifact(doc)
+    if errors:
+        for err in errors:
+            print(f"INVALID: {err}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(doc['points'])} predicted-time points to "
+          f"{args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -135,6 +135,7 @@ def factor(
     nranks: int | None = None,
     *,
     grid: tuple[int, ...] | None = None,
+    machine=None,
     **opts,
 ) -> FactorResult:
     """Factor ``a`` with the named algorithm; the one entry point for
@@ -142,11 +143,20 @@ def factor(
 
     ``nranks`` may be omitted when ``grid`` is given — it defaults to
     the grid's rank count ([G, G, c] product for the 2.5D family,
-    Pr x Pc for the 2D baselines).  Remaining keyword options
-    (``v``/``nb``, ``timeout``, ``m_max``) pass through to the
-    implementation.
+    Pr x Pc for the 2D baselines).  ``machine`` (a preset name, a JSON
+    path, or a :class:`~repro.models.machines.Machine`) turns on the
+    discrete-event clock: the result's ``volume.timing`` then carries
+    predicted per-rank seconds under that machine's α-β-γ parameters.
+    Remaining keyword options (``v``/``nb``, ``timeout``, ``m_max``)
+    pass through to the implementation.
     """
     info = get_algorithm(name)
+    if machine is not None:
+        # Resolve eagerly so a bad preset name or JSON path fails
+        # before any rank threads are spawned.
+        from repro.models.machines import resolve_machine
+
+        opts["machine"] = resolve_machine(machine)
     if info.kind == "mmm":
         raise ValueError(
             f"{name} computes a matrix product, not a factorization; "

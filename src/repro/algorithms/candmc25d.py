@@ -296,6 +296,7 @@ def _factor_candmc25d(
     v: int | None = None,
     m_max: float | None = None,
     timeout: float = 600.0,
+    machine=None,
 ) -> FactorResult:
     """Factor ``a`` with the CANDMC-like 2.5D schedule (row swapping +
     full-width panel replication)."""
@@ -322,7 +323,8 @@ def _factor_candmc25d(
     if n < v:
         v = n
     results, report = run_spmd(
-        nranks, _candmc_rank_fn, a, g, c, v, timeout=timeout
+        nranks, _candmc_rank_fn, a, g, c, v,
+        timeout=timeout, machine=machine,
     )
     lower, upper, perm = _assemble(n, v, results)
     residual = verify_factors(a, lower, upper, perm)

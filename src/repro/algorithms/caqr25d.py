@@ -159,6 +159,14 @@ class _CaqrRank(Rank25D):
                 self.q_log.append(("node", t, order, nv, ntau))
         return leaf, my_nodes, plan, rt, act_loc
 
+    def step_flops(self, ctx: StepContext) -> float:
+        # Q^T application is two-sided (form Y = V^T B, then B -= V T Y),
+        # so roughly 4·rows·w·cols against 2·rows·w·cols for a GEMM
+        # trailing update.
+        rows = max(self.n - ctx.k0, 0)
+        cols = max(self.n - ctx.k1, 0)
+        return 4.0 * rows * ctx.w * cols / self.p_active
+
     # -- step 4: apply the implicit tree Q^T to the trailing columns --
     def trailing_op(self, ctx: StepContext, panel) -> None:
         comm, gd, sched = self.comm, self.grid, self.sched
@@ -293,6 +301,7 @@ def _factor_caqr25d(
     grid: tuple[int, int, int] | None = None,
     v: int | None = None,
     timeout: float = 600.0,
+    machine=None,
 ) -> FactorResult:
     """2.5D CAQR of a square matrix; returns explicit Q and R.
 
@@ -321,7 +330,8 @@ def _factor_caqr25d(
     if n < v:
         v = n
     results, report = run_spmd(
-        nranks, _caqr_rank_fn, a, g, c, v, timeout=timeout
+        nranks, _caqr_rank_fn, a, g, c, v,
+        timeout=timeout, machine=machine,
     )
     upper = _assemble_r(n, results)
     q = _assemble_q(n, g, v, results)

@@ -235,6 +235,7 @@ def _factor_cholesky25d(
     grid: tuple[int, int, int] | None = None,
     v: int | None = None,
     timeout: float = 600.0,
+    machine=None,
 ) -> FactorResult:
     """2.5D Cholesky of an SPD matrix; returns L with A = L L^T.
 
@@ -264,7 +265,8 @@ def _factor_cholesky25d(
     if n < v:
         v = n
     results, report = run_spmd(
-        nranks, _cholesky_rank_fn, a, g, c, v, timeout=timeout
+        nranks, _cholesky_rank_fn, a, g, c, v,
+        timeout=timeout, machine=machine,
     )
     lower = _assemble_cholesky(n, v, results)
     residual = float(

@@ -323,6 +323,7 @@ def _factor_conflux(
     v: int | None = None,
     m_max: float | None = None,
     timeout: float = 600.0,
+    machine=None,
 ) -> FactorResult:
     """Factor ``a`` with COnfLUX on ``nranks`` simulated ranks.
 
@@ -355,7 +356,8 @@ def _factor_conflux(
         v = n
 
     results, report = run_spmd(
-        nranks, _conflux_rank_fn, a, g, c, v, timeout=timeout
+        nranks, _conflux_rank_fn, a, g, c, v,
+        timeout=timeout, machine=machine,
     )
     lower, upper, perm = _assemble(n, v, results)
     residual = verify_factors(a, lower, upper, perm)

@@ -101,6 +101,7 @@ def mmm25d(
     nranks: int,
     grid: tuple[int, int, int] | None = None,
     timeout: float = 600.0,
+    machine=None,
 ) -> tuple[np.ndarray, VolumeReport, tuple[int, int, int]]:
     """Multiply C = A @ B on a [G, G, c] grid; returns (C, volume, grid).
 
@@ -133,7 +134,8 @@ def mmm25d(
             f"at least one SUMMA round)"
         )
     results, report = run_spmd(
-        nranks, _mmm_rank_fn, a, b, g, c, timeout=timeout
+        nranks, _mmm_rank_fn, a, b, g, c,
+        timeout=timeout, machine=machine,
     )
     out = np.zeros((n, n))
     for r in results:

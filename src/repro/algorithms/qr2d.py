@@ -149,6 +149,12 @@ def _rank_fn(comm, a: np.ndarray, prows: int, pcols: int, nb: int) -> dict:
                         vloc, wvec
                     )
 
+        # This rank's Q^T-apply share of the step (two-sided, hence
+        # the 4x; timing model only — a no-op without a machine spec).
+        comm.compute(
+            4.0 * (n - k0) * w * (n - k1) / (prows * pcols)
+        )
+
     return {
         "active": True,
         "aloc": aloc,
@@ -204,6 +210,7 @@ def _factor_qr2d(
     grid: tuple[int, int] | None = None,
     nb: int = 16,
     timeout: float = 600.0,
+    machine=None,
 ) -> FactorResult:
     """ScaLAPACK-style 2D Householder QR; returns explicit Q and R.
 
@@ -223,7 +230,8 @@ def _factor_qr2d(
             f"grid {grid} needs {prows * pcols} ranks, have {nranks}"
         )
     results, report = run_spmd(
-        nranks, _rank_fn, a, prows, pcols, nb, timeout=timeout
+        nranks, _rank_fn, a, prows, pcols, nb,
+        timeout=timeout, machine=machine,
     )
     q, upper = _assemble_qr2d(n, results, pcols, nb)
     residual, orthogonality = verify_qr_factors(a, q, upper)

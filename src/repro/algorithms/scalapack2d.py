@@ -167,6 +167,11 @@ def _rank_fn(comm, a: np.ndarray, prows: int, pcols: int, nb: int) -> dict:
                 l10 @ u01
             )
 
+        # This rank's GEMM share of the step (timing model only; a
+        # no-op unless the run was given a machine spec).
+        trailing = n - k1
+        comm.compute(2.0 * trailing * trailing * w / (prows * pcols))
+
     return {
         "active": True,
         "aloc": aloc,
@@ -228,6 +233,7 @@ def _run_2d(
     nb: int,
     prefer_tall: bool,
     timeout: float,
+    machine=None,
 ) -> FactorResult:
     a = validate_input_matrix(a)
     n = a.shape[0]
@@ -241,7 +247,8 @@ def _run_2d(
             f"grid {grid} needs {prows * pcols} ranks, have {nranks}"
         )
     results, report = run_spmd(
-        nranks, _rank_fn, a, prows, pcols, nb, timeout=timeout
+        nranks, _rank_fn, a, prows, pcols, nb,
+        timeout=timeout, machine=machine,
     )
     combined, piv = _assemble_2d(n, results)
     from repro.kernels.lu_seq import split_lu
@@ -278,11 +285,14 @@ def _factor_scalapack2d(
     grid: tuple[int, int] | None = None,
     nb: int = 32,
     timeout: float = 600.0,
+    machine=None,
 ) -> FactorResult:
     """LibSci/ScaLAPACK-like LU: 2D block-cyclic, partial pivoting with
     physical row swaps, user-tunable block size (Table 2: "user param.
     required: yes")."""
-    return _run_2d("scalapack2d", a, nranks, grid, nb, False, timeout)
+    return _run_2d(
+        "scalapack2d", a, nranks, grid, nb, False, timeout, machine
+    )
 
 
 #: Deprecated alias — use ``factor("scalapack2d", ...)``.

@@ -564,6 +564,20 @@ class Rank25D:
         """Apply the factored panel to the trailing matrix."""
         raise NotImplementedError
 
+    def step_flops(self, ctx: StepContext) -> float:
+        """This rank's arithmetic for step ``ctx`` (timing model only).
+
+        The default charges an even 1/(G·G·c) share of the step's
+        trailing update — the rank-``w`` GEMM on the (N - k1)-square
+        trailing matrix, 2·(N-k1)²·w flops total — which is the
+        dominant term for every LU/Cholesky-shaped member.  Subclasses
+        with a different update (CAQR's two-sided reflector apply)
+        override this.  Feeds :meth:`Comm.compute`, a no-op unless the
+        run was given a machine spec.
+        """
+        trailing = max(self.n - ctx.k1, 0)
+        return 2.0 * trailing * trailing * ctx.w / self.p_active
+
     def finalize(self) -> dict:
         """Per-rank result payload for host-side assembly."""
         return {"active": True}
@@ -576,4 +590,5 @@ class Rank25D:
             ctx = self.sched.step_context(t)
             panel = self.panel_op(ctx)
             self.trailing_op(ctx, panel)
+            self.comm.compute(self.step_flops(ctx))
         return self.finalize()

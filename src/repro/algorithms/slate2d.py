@@ -34,10 +34,13 @@ def _factor_slate2d(
     grid: tuple[int, int] | None = None,
     nb: int = 16,
     timeout: float = 600.0,
+    machine=None,
 ) -> FactorResult:
     """SLATE-like LU: 2D block layout, default block size 16, no user
     tuning required."""
-    return _run_2d("slate2d", a, nranks, grid, nb, True, timeout)
+    return _run_2d(
+        "slate2d", a, nranks, grid, nb, True, timeout, machine
+    )
 
 
 #: Deprecated alias — use ``factor("slate2d", ...)``.

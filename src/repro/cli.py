@@ -20,9 +20,24 @@ import sys
 import numpy as np
 
 
+def _print_machines() -> None:
+    from repro.models.machines import list_machines
+
+    print(f"{'name':<14} {'ranks':>7} {'mem/rank':>9} {'alpha':>9} "
+          f"{'beta':>9} {'gamma':>9} topology")
+    for m in list_machines():
+        print(f"{m.name:<14} {m.total_ranks:>7,} "
+              f"{m.memory_per_rank_bytes / 2**30:>8.2f}G "
+              f"{m.alpha:>9.2e} {m.beta:>9.2e} "
+              f"{m.gamma_flops:>9.2e} {m.topology}")
+
+
 def _cmd_factor(args: argparse.Namespace) -> int:
     from repro.algorithms import factor, get_algorithm, list_algorithms
 
+    if args.list_machines:
+        _print_machines()
+        return 0
     if args.list:
         print(f"{'name':<13} {'kind':<5} {'grid':<5} {'block':<6} "
               f"{'dtypes':<17} description")
@@ -54,18 +69,37 @@ def _cmd_factor(args: argparse.Namespace) -> int:
         kwargs["v"] = args.v
     if args.nb is not None:
         kwargs["nb"] = args.nb
+    if args.machine is not None:
+        try:
+            from repro.models.machines import resolve_machine
+
+            kwargs["machine"] = resolve_machine(args.machine)
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            raise SystemExit(2)
     res = factor(info.name, a, args.p, **kwargs)
     print(res.describe())
     print(f"per-rank volume: {res.volume.per_rank_bytes:,.0f} B")
     if "orthogonality" in res.meta:
         print(f"orthogonality ||Q^T Q - I||: "
               f"{res.meta['orthogonality']:.2e}")
+    timing = res.volume.timing
+    if timing is not None:
+        print(f"predicted time on {timing.machine}: "
+              f"{timing.makespan:.6e} s "
+              f"(compute {timing.total_compute_seconds:.3e} s, "
+              f"comm {timing.total_comm_seconds:.3e} s)")
     if args.verbose:
         for phase, nbytes in sorted(
             res.volume.phase_bytes.items(), key=lambda kv: -kv[1]
         ):
             msgs = res.volume.phase_messages.get(phase, 0)
-            print(f"  {phase:<20} {nbytes:>12,} B  {msgs:>8,} msgs")
+            secs = (
+                f"  {timing.phase_seconds.get(phase, 0.0):.3e} s"
+                if timing is not None else ""
+            )
+            print(f"  {phase:<20} {nbytes:>12,} B  {msgs:>8,} msgs"
+                  f"{secs}")
     return 0
 
 
@@ -139,14 +173,21 @@ def _cmd_models(args: argparse.Namespace) -> int:
 
 def _sweep_row_columns(rows: list[dict]) -> list[tuple[str, str]]:
     """Column order for sweep output: identity axes first, then the
-    headline metrics, in first-row key order."""
-    lead = ("impl", "n", "p", "v")
-    skip = {"phase_bytes"}
+    headline metrics, in first-row key order.  Nested breakdowns and
+    per-rank vectors are skipped (``-v`` runs show them per point);
+    columns that are ``None`` in every row (e.g. the timing fields of a
+    volume-only sweep) are dropped."""
+    lead = ("impl", "n", "p", "v", "machine")
+    skip = {"phase_bytes", "phase_seconds", "rank_seconds"}
     keys: list[str] = []
     for row in rows:
         for key in row:
             if key not in keys and key not in skip:
                 keys.append(key)
+    keys = [
+        k for k in keys
+        if any(row.get(k) is not None for row in rows)
+    ]
     keys.sort(
         key=lambda k: lead.index(k) if k in lead else len(lead)
     )
@@ -158,6 +199,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness.reporting import format_table
     from repro.harness.specs import SPECS, named_spec
     from repro.harness.sweep import run_sweep
+
+    if args.action is not None:
+        # Positional verb form: ``sweep run NAME`` (also list / resume /
+        # show-cache / clear-cache), equivalent to the --flag spelling.
+        verb = args.action.replace("_", "-")
+        needs_name = verb in ("run", "resume")
+        if needs_name and not args.name:
+            print(f"sweep {verb} needs a sweep name (see 'sweep list')",
+                  file=sys.stderr)
+            return 2
+        if not needs_name and args.name:
+            print(f"sweep {verb} takes no sweep name", file=sys.stderr)
+            return 2
+        if verb == "run":
+            args.run = args.name
+        elif verb == "resume":
+            args.resume = args.name
+        elif verb == "list":
+            args.list = True
+        elif verb == "show-cache":
+            args.show_cache = True
+        elif verb == "clear-cache":
+            args.clear_cache = True
+        else:
+            print(f"unknown sweep action {args.action!r}; expected "
+                  f"run, resume, list, show-cache or clear-cache",
+                  file=sys.stderr)
+            return 2
 
     cache_dir = args.cache_dir or default_cache_dir()
     cache = None if args.no_cache else SweepCache(cache_dir)
@@ -187,8 +256,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     name = args.run or args.resume
     if not name:
-        print("nothing to do: pass --run NAME, --resume NAME, --list, "
-              "--show-cache or --clear-cache", file=sys.stderr)
+        print("nothing to do: pass 'run NAME', 'resume NAME', 'list', "
+              "'show-cache' or 'clear-cache' (or the --flag forms)",
+              file=sys.stderr)
         return 2
 
     try:
@@ -246,6 +316,12 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--v", type=int, default=None, help="2.5D block size")
     f.add_argument("--nb", type=int, default=None, help="2D block size")
     f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--machine", default=None, metavar="PRESET|PATH",
+                   help="machine preset name or Machine JSON path; "
+                        "turns on the discrete-event clock")
+    f.add_argument("--list-machines", action="store_true",
+                   help="list the machine presets and their "
+                        "alpha/beta/gamma parameters")
     f.add_argument("-v", "--verbose", action="store_true",
                    dest="verbose")
     f.set_defaults(fn=_cmd_factor)
@@ -276,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run experiment grids through the parallel sweep engine",
     )
+    s.add_argument("action", nargs="?", default=None,
+                   metavar="ACTION",
+                   help="run | resume | list | show-cache | "
+                        "clear-cache (positional form of the flags "
+                        "below)")
+    s.add_argument("name", nargs="?", default=None, metavar="NAME",
+                   help="sweep name for 'run' / 'resume'")
     action = s.add_mutually_exclusive_group()
     action.add_argument("--list", action="store_true",
                         help="list the named sweeps and their sizes")

@@ -38,7 +38,14 @@ QR_IMPLEMENTATION_NAMES = ("qr2d", "caqr25d")
 
 @dataclass(frozen=True)
 class ExperimentRecord:
-    """One measured data point plus its model prediction."""
+    """One measured data point plus its model prediction.
+
+    The timing fields are populated only when the experiment ran under
+    a machine spec: ``predicted_seconds`` is the discrete-event clock's
+    makespan, ``rank_seconds`` the per-rank finish times, and
+    ``phase_seconds`` the per-phase time breakdown (exclusive, like
+    ``phase_bytes``).
+    """
 
     impl: str
     n: int
@@ -49,6 +56,12 @@ class ExperimentRecord:
     modeled_bytes: float
     residual: float
     phase_bytes: dict[str, int]
+    machine: str | None = None
+    predicted_seconds: float | None = None
+    compute_seconds: float | None = None
+    comm_seconds: float | None = None
+    rank_seconds: tuple[float, ...] = ()
+    phase_seconds: dict[str, float] | None = None
 
     @property
     def prediction_pct(self) -> float:
@@ -85,6 +98,12 @@ class ExperimentRecord:
             "per_rank_bytes": self.per_rank_bytes,
             "total_bytes": self.measured_bytes,
             "phase_bytes": dict(self.phase_bytes),
+            "machine": self.machine,
+            "predicted_seconds": self.predicted_seconds,
+            "compute_seconds": self.compute_seconds,
+            "comm_seconds": self.comm_seconds,
+            "rank_seconds": list(self.rank_seconds),
+            "phase_seconds": dict(self.phase_seconds or {}),
         }
 
 
@@ -148,17 +167,24 @@ def run_experiment(
     v: int | None = None,
     nb: int | None = None,
     a: np.ndarray | None = None,
+    machine=None,
 ) -> ExperimentRecord:
-    """Factor a random N x N matrix with ``impl`` on ``p`` ranks."""
+    """Factor a random N x N matrix with ``impl`` on ``p`` ranks.
+
+    ``machine`` (preset name, JSON path, or Machine) switches on the
+    discrete-event clock; the record then carries predicted seconds
+    alongside the byte ledger.
+    """
     if a is None:
         a = np.random.default_rng(seed).standard_normal((n, n))
     params = pick_params(impl, n, p, v=v, nb=nb)
-    result = factor(impl, a, p, **params)
+    result = factor(impl, a, p, machine=machine, **params)
     if result.residual > 1e-10:
         raise RuntimeError(
             f"{impl} produced residual {result.residual:.2e} at "
             f"N={n}, P={p} — refusing to report volume for a broken run"
         )
+    timing = result.volume.timing
     return ExperimentRecord(
         impl=impl,
         n=n,
@@ -169,4 +195,12 @@ def run_experiment(
         modeled_bytes=model_for(impl, n, p, params),
         residual=result.residual,
         phase_bytes=dict(result.volume.phase_bytes),
+        machine=timing.machine if timing else None,
+        predicted_seconds=timing.makespan if timing else None,
+        compute_seconds=(
+            timing.total_compute_seconds if timing else None
+        ),
+        comm_seconds=timing.total_comm_seconds if timing else None,
+        rank_seconds=timing.rank_seconds if timing else (),
+        phase_seconds=dict(timing.phase_seconds) if timing else None,
     )

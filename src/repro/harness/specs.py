@@ -53,8 +53,14 @@ def measured_task(
     v: int | None = None,
     nb: int | None = None,
     backend: str = "sim",
+    machine: str | None = None,
 ) -> dict:
-    """Factor an N x N matrix with ``impl`` on ``p`` simulated ranks."""
+    """Factor an N x N matrix with ``impl`` on ``p`` simulated ranks.
+
+    ``machine`` (a preset name) additionally runs the discrete-event
+    clock, adding predicted seconds to the row.  Points that do not set
+    it hash exactly as before, so existing sweep caches stay valid.
+    """
     from repro.harness.runner import run_experiment
     from repro.smpi.mpi_backend import have_mpi4py
 
@@ -68,7 +74,9 @@ def measured_task(
         )
     if backend != "sim":
         raise ValueError(f"unknown backend {backend!r}")
-    rec = run_experiment(impl, n, p, seed=seed, v=v, nb=nb)
+    rec = run_experiment(
+        impl, n, p, seed=seed, v=v, nb=nb, machine=machine
+    )
     return rec.to_row()
 
 
@@ -443,6 +451,57 @@ def qr_lower_bound_gap_spec(
     )
 
 
+#: Machine presets the ``*-time`` sweeps predict under (two, so the
+#: α-β sensitivity is visible point by point).
+TIME_MACHINES = ("daint-xc50", "summit")
+
+
+def table2_time_spec(
+    points: Sequence[tuple[int, int]] = TABLE2_MEASURED_POINTS,
+    impls: Sequence[str] = DEFAULT_IMPLS,
+    machines: Sequence[str] = TIME_MACHINES,
+    seed: int = 0,
+) -> SweepSpec:
+    return SweepSpec(
+        name="table2-time",
+        task="measured",
+        axes={
+            **_np_axis(points),
+            "impl": list(impls),
+            "machine": list(machines),
+        },
+        fixed={"seed": seed},
+        derive=_split_np,
+        description=(
+            "Table 2 grid under the discrete-event clock: predicted "
+            "seconds (per rank, per phase) on each machine preset"
+        ),
+    )
+
+
+def qr_strong_time_spec(
+    n: int = 96,
+    p_values: Sequence[int] = (4, 8, 16),
+    impls: Sequence[str] = QR_IMPLS,
+    machines: Sequence[str] = TIME_MACHINES,
+    seed: int = 0,
+) -> SweepSpec:
+    return SweepSpec(
+        name="qr-strong-time",
+        task="measured",
+        axes={
+            "p": list(p_values),
+            "impl": list(impls),
+            "machine": list(machines),
+        },
+        fixed={"n": n, "seed": seed},
+        description=(
+            "QR strong scaling under the discrete-event clock: "
+            "predicted seconds vs P on each machine preset"
+        ),
+    )
+
+
 def table2_mpi_spec() -> SweepSpec:
     """The Table 2 grid addressed to the real-MPI backend.
 
@@ -474,7 +533,9 @@ SPECS = {
     "fig7": fig7_spec,
     "lower-bound-gap": lower_bound_gap_spec,
     "ablation-block-size": block_size_spec,
+    "table2-time": table2_time_spec,
     "qr-strong": qr_strong_scaling_spec,
+    "qr-strong-time": qr_strong_time_spec,
     "qr-weak": qr_weak_scaling_spec,
     "qr-lower-bound-gap": qr_lower_bound_gap_spec,
 }

@@ -8,12 +8,25 @@ implements:
 * :mod:`repro.models.costmodels` — exact per-step volume sums for
   COnfLUX (the Lemma 10 terms) and the Table 2 models for the 2D
   libraries (LibSci/ScaLAPACK, SLATE) and CANDMC;
-* :mod:`repro.models.machines` — machine presets (Piz Daint XC50 nodes,
-  Summit) that fix the per-rank memory M in elements;
+* :mod:`repro.models.api` — the registry-driven :func:`predict` entry
+  point mirroring ``factor()``: one signature over the whole model
+  family, with optional α-β-γ time estimates under a machine spec;
+* :mod:`repro.models.machines` — machine presets (Piz Daint XC50,
+  Summit, ...) fixing per-rank memory M plus the network/compute
+  parameters (α, β, γ) the timing models consume;
 * :mod:`repro.models.prediction` — Figure 7 machinery: communication
   reduction vs the second-best implementation over (P, N) grids.
 """
 
+from repro.models.api import (
+    ModelInfo,
+    MODEL_REGISTRY,
+    Prediction,
+    get_model,
+    list_models,
+    predict,
+    register_model,
+)
 from repro.models.costmodels import (
     CostModel,
     conflux_model,
@@ -24,7 +37,19 @@ from repro.models.costmodels import (
     model_by_name,
     MODEL_NAMES,
 )
-from repro.models.machines import Machine, PIZ_DAINT, SUMMIT, LAPTOP_SIM
+from repro.models.machines import (
+    DAINT_XC50,
+    IDEAL,
+    LAPTOP_SIM,
+    MACHINES,
+    Machine,
+    PIZ_DAINT,
+    SUMMIT,
+    list_machines,
+    load_machine,
+    machine_by_name,
+    resolve_machine,
+)
 from repro.models.prediction import (
     reduction_vs_second_best,
     sweep_models,
@@ -33,17 +58,31 @@ from repro.models.prediction import (
 
 __all__ = [
     "CostModel",
+    "DAINT_XC50",
+    "IDEAL",
     "LAPTOP_SIM",
+    "MACHINES",
     "MODEL_NAMES",
+    "MODEL_REGISTRY",
     "Machine",
+    "ModelInfo",
     "PIZ_DAINT",
+    "Prediction",
     "SUMMIT",
     "candmc_model",
     "choose_c_max_replication",
     "conflux_model",
     "conflux_step_breakdown",
+    "get_model",
+    "list_machines",
+    "list_models",
+    "load_machine",
+    "machine_by_name",
     "model_by_name",
+    "predict",
     "reduction_vs_second_best",
+    "register_model",
+    "resolve_machine",
     "scalapack2d_model",
     "slate_model",
     "sweep_models",

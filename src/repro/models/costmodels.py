@@ -210,7 +210,32 @@ _REGISTRY = {
 }
 
 
+_warned_model_shims: set[str] = set()
+
+
+def _reset_model_shim_warnings() -> None:
+    """Testing hook: make :func:`model_by_name` warn again on next call."""
+    _warned_model_shims.clear()
+
+
 def model_by_name(name: str) -> CostModel:
+    """Deprecated lookup — use ``repro.models.predict(name, ...)`` or
+    ``repro.models.get_model(name)``.
+
+    Warns with :class:`DeprecationWarning` once per process and returns
+    the very same :class:`CostModel` objects as before, so downstream
+    numbers are bit-identical.
+    """
+    import warnings
+
+    if "model_by_name" not in _warned_model_shims:
+        _warned_model_shims.add("model_by_name")
+        warnings.warn(
+            "model_by_name() is deprecated; use repro.models.predict() "
+            "or repro.models.get_model()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     try:
         return _REGISTRY[name]
     except KeyError:

@@ -11,11 +11,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.models.api import get_model
 from repro.models.costmodels import (
     MODEL_NAMES,
     QR_MODEL_NAMES,
     caqr25d_total_bytes,
-    model_by_name,
     qr2d_total_bytes,
 )
 
@@ -79,7 +79,7 @@ def sweep_models(
         return {name: table[name] for name in names}
     out: dict[str, float] = {}
     for name in names:
-        model = model_by_name(name)
+        model = get_model(name)
         if name == "conflux":
             out[name] = model.total_bytes(n, p, m, v=v)
         else:
@@ -191,8 +191,8 @@ def crossover_p_candmc_vs_2d(
     the "asymptotic optimality is not enough" argument.  ``m_of_p`` maps
     P to the memory per rank (elements).
     """
-    candmc = model_by_name("candmc25d")
-    two_d = model_by_name("scalapack2d")
+    candmc = get_model("candmc25d")
+    two_d = get_model("scalapack2d")
     for p in sorted(p_grid):
         m = m_of_p(p)
         if candmc.total_bytes(n, p, m) < two_d.total_bytes(n, p, m):

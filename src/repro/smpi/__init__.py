@@ -24,17 +24,24 @@ from repro.smpi.runtime import (
     run_spmd,
 )
 from repro.smpi.grid import ProcessGrid2D, ProcessGrid3D
+from repro.smpi.network import Link, LinkGraph
+from repro.smpi.timing import EventTrace, TimingReport, simulate
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Comm",
     "DeadlockError",
+    "EventTrace",
+    "Link",
+    "LinkGraph",
     "ProcessGrid2D",
     "ProcessGrid3D",
     "RankFailure",
     "SmpiError",
+    "TimingReport",
     "VolumeLedger",
     "VolumeReport",
     "run_spmd",
+    "simulate",
 ]

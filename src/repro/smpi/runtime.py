@@ -113,16 +113,26 @@ def _copy_payload(obj: Any) -> Any:
 
 
 class _Message:
-    __slots__ = ("context", "source", "tag", "data", "nbytes")
+    __slots__ = ("context", "source", "tag", "data", "nbytes", "send_id")
 
     def __init__(
-        self, context: int, source: int, tag: int, data: Any, nbytes: int
+        self,
+        context: int,
+        source: int,
+        tag: int,
+        data: Any,
+        nbytes: int,
+        send_id: tuple[int, int] | None = None,
     ) -> None:
         self.context = context
         self.source = source
         self.tag = tag
         self.data = data
         self.nbytes = nbytes
+        # (sender world rank, sender-local sequence number) when an
+        # event trace is recording; lets the receive side log exactly
+        # which send it matched (robust under ANY_SOURCE).
+        self.send_id = send_id
 
 
 class _Mailbox:
@@ -215,12 +225,16 @@ class _Rendezvous:
 class _Context:
     """State shared by every rank of one SPMD run."""
 
-    def __init__(self, nranks: int, timeout: float) -> None:
+    def __init__(
+        self, nranks: int, timeout: float, trace: Any = None
+    ) -> None:
         self.nranks = nranks
         self.timeout = timeout
         self.mailboxes = [_Mailbox() for _ in range(nranks)]
         self.ledger = VolumeLedger(nranks)
         self.rendezvous = _Rendezvous()
+        #: repro.smpi.timing.EventTrace when the run predicts time
+        self.trace = trace
         self._next_context = 1  # 0 is COMM_WORLD
         self._ctx_lock = threading.Lock()
 
@@ -233,19 +247,26 @@ class _Context:
 
 
 class _PhaseScope:
+    """Push/pop one entry of the rank's phase-scope stack.
+
+    Nesting is supported and attributes *exclusively*: traffic inside
+    the inner scope lands under the ``"outer/inner"`` path key only
+    (see :meth:`VolumeLedger.current_phase`), so per-phase totals never
+    double count.
+    """
+
     def __init__(self, comm: "Comm", name: str | None) -> None:
         self._comm = comm
         self._name = name
-        self._prev: str | None = None
 
     def __enter__(self) -> "Comm":
-        ledger = self._comm._ctx.ledger
-        self._prev = ledger.current_phase(self._comm._world_rank)
-        ledger.set_phase(self._comm._world_rank, self._name)
+        self._comm._ctx.ledger.push_phase(
+            self._comm._world_rank, self._name
+        )
         return self._comm
 
     def __exit__(self, *exc: Any) -> None:
-        self._comm._ctx.ledger.set_phase(self._comm._world_rank, self._prev)
+        self._comm._ctx.ledger.pop_phase(self._comm._world_rank)
 
 
 class Comm:
@@ -320,6 +341,14 @@ class Comm:
             nbytes,
         )
         self._ctx.ledger.record_send(self._world_rank, nbytes)
+        trace = self._ctx.trace
+        if trace is not None:
+            msg.send_id = trace.record_send(
+                self._world_rank,
+                self._group[dest],
+                nbytes,
+                self._ctx.ledger.current_phase(self._world_rank),
+            )
         self._ctx.mailboxes[self._group[dest]].deliver(msg)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
@@ -340,6 +369,13 @@ class Comm:
             self._context_id, source, tag, self._ctx.timeout
         )
         self._ctx.ledger.record_recv(self._world_rank, msg.nbytes)
+        trace = self._ctx.trace
+        if trace is not None and msg.send_id is not None:
+            trace.record_recv(
+                self._world_rank,
+                msg.send_id,
+                self._ctx.ledger.current_phase(self._world_rank),
+            )
         return msg.data, msg.source, msg.tag
 
     def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
@@ -387,25 +423,65 @@ class Comm:
         self._meta_counter += 1
         return (self._context_id, op, self._meta_counter)
 
+    def _trace_sync(self, key: tuple) -> None:
+        """Log a rendezvous as a sync point for the timing replay.
+
+        The key is identical on every participating rank (same context,
+        op and per-comm counter), so the replay can align the whole
+        group's clocks; metadata ops stay zero-volume in the ledger.
+        """
+        trace = self._ctx.trace
+        if trace is not None:
+            trace.record_sync(
+                self._world_rank,
+                key,
+                self.size,
+                self._ctx.ledger.current_phase(self._world_rank),
+            )
+
+    def compute(self, flops: float) -> None:
+        """Account ``flops`` of local work for the timing model.
+
+        A no-op for volume-only runs; under ``run_spmd(machine=...)``
+        the replay advances this rank's clock by flops/γ, overlapping
+        the work with any in-flight transfers (compute/communication
+        overlap).
+        """
+        if flops < 0:
+            raise ValueError(f"negative flop count: {flops}")
+        trace = self._ctx.trace
+        if trace is not None:
+            trace.record_compute(
+                self._world_rank,
+                flops,
+                self._ctx.ledger.current_phase(self._world_rank),
+            )
+
     def barrier(self) -> None:
         """Synchronize all ranks of this communicator (zero data volume)."""
+        key = self._meta_key("barrier")
+        self._trace_sync(key)
         self._ctx.rendezvous.exchange(
-            self._meta_key("barrier"),
+            key,
             self._rank,
             None,
             self.size,
             self._ctx.timeout,
         )
 
-    def split(self, color: int | None, key: int | None = None) -> "Comm | None":
+    def split(
+        self, color: int | None, key: int | None = None
+    ) -> "Comm | None":
         """Partition the communicator by ``color``; order groups by
         ``(key, rank)``.  Ranks passing ``color=None`` get ``None`` back
         (the MPI_UNDEFINED idiom used to disable ranks — the paper's
         Processor Grid Optimization relies on this)."""
         if key is None:
             key = self._rank
+        meta_key = self._meta_key("split")
+        self._trace_sync(meta_key)
         contrib = self._ctx.rendezvous.exchange(
-            self._meta_key("split"),
+            meta_key,
             self._rank,
             (color, key),
             self.size,
@@ -436,6 +512,7 @@ class Comm:
         """All group members must obtain the *same* base id; rank 0
         allocates and shares it through the rendezvous board."""
         key = self._meta_key("ctxbase")
+        self._trace_sync(key)
         value = None
         if self._rank == 0:
             value = self._ctx.allocate_contexts(count)
@@ -511,16 +588,32 @@ def run_spmd(
     *args: Any,
     timeout: float = _DEFAULT_TIMEOUT,
     return_report: bool = True,
+    machine: Any = None,
 ) -> tuple[list[Any], VolumeReport]:
     """Run ``fn(comm, *args)`` on ``nranks`` threads.
 
     Returns ``(results, volume_report)`` where ``results[r]`` is rank r's
     return value.  If any rank raises, a :class:`RankFailure` carrying
     every failure is raised after all threads have stopped.
+
+    ``machine`` (a :class:`~repro.models.machines.Machine`, preset name
+    or spec path) switches on the discrete-event clock: the run records
+    an event trace and the returned report carries a
+    :class:`~repro.smpi.timing.TimingReport` in ``report.timing`` —
+    predicted per-rank wall-clock under that machine's α-β-γ model.
+    Byte accounting is identical with or without a machine.
     """
     if nranks <= 0:
         raise ValueError(f"nranks must be positive, got {nranks}")
-    ctx = _Context(nranks, timeout)
+    trace = None
+    resolved = None
+    if machine is not None:
+        from repro.models.machines import resolve_machine
+        from repro.smpi.timing import EventTrace
+
+        resolved = resolve_machine(machine)
+        trace = EventTrace(nranks)
+    ctx = _Context(nranks, timeout, trace=trace)
     results: list[Any] = [None] * nranks
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
@@ -539,7 +632,9 @@ def run_spmd(
                     mb._cond.notify_all()
 
     threads = [
-        threading.Thread(target=_worker, args=(r,), daemon=True, name=f"rank{r}")
+        threading.Thread(
+            target=_worker, args=(r,), daemon=True, name=f"rank{r}"
+        )
         for r in range(nranks)
     ]
     for t in threads:
@@ -549,4 +644,13 @@ def run_spmd(
     if failures:
         failures.sort(key=lambda f: f[0])
         raise RankFailure(failures)
-    return results, ctx.ledger.snapshot()
+    report = ctx.ledger.snapshot()
+    if trace is not None:
+        import dataclasses
+
+        from repro.smpi.timing import simulate
+
+        report = dataclasses.replace(
+            report, timing=simulate(trace, resolved)
+        )
+    return results, report

@@ -1,0 +1,292 @@
+"""Discrete-event α-β clock for the simulated runtime.
+
+The volume ledger answers *how many bytes*; this module answers *how
+long*.  It works in two stages, because the runtime's ranks are real
+threads whose interleaving is nondeterministic:
+
+1. **Trace.** While a run executes, each rank appends its communication
+   events — sends, receives, compute blocks, rendezvous syncs — to its
+   own :class:`EventTrace` lane (rank-private, so no locking and no
+   cross-thread ordering is recorded).  Each send gets a rank-local
+   sequence number; the matching receive records the same
+   ``(sender, seq)`` id, so the pairing is exact even under
+   ``ANY_SOURCE`` matching.
+
+2. **Replay.** After the threads join, :func:`simulate` replays the
+   trace on a deterministic event loop: a min-heap of ``(clock, rank)``
+   processes one event per step, ties broken by rank id.  Sends place
+   transfers on the machine's :class:`~repro.smpi.network.LinkGraph`
+   in global clock order (so contention queues are reproducible),
+   receives block until the matched transfer's arrival, compute blocks
+   advance the local clock by flops/γ, and syncs align every
+   participant to the latest arrival.  Identical schedule + identical
+   machine ⇒ identical predicted times, bit for bit, regardless of how
+   the OS scheduled the recording threads.
+
+Cost model per event (machine parameters α, β, γ):
+
+==========  =============================================================
+send        sender busy for α (injection overhead); the message then
+            occupies its link path for α + β·bytes (latency + serial
+            transfer), queuing FIFO behind earlier transfers
+recv        blocks until the matched transfer arrives; blocked time is
+            *wait* attributed to the receive-side phase
+compute     advances the local clock by flops / γ (overlaps with any
+            in-flight transfers — communication is offloaded)
+sync        barrier semantics: every participant resumes at the max of
+            their entry clocks (metadata volume is zero, as in the
+            ledger)
+==========  =============================================================
+
+The zero-latency / infinite-bandwidth / infinite-γ limit (the ``ideal``
+preset) therefore predicts exactly zero seconds while leaving the byte
+ledger untouched — the property test that pins the clock to the volume
+model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.smpi.network import LinkGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.models.machines import Machine
+
+#: event-kind tags (tuple slot 0 of every trace event)
+_SEND, _RECV, _COMPUTE, _SYNC = "send", "recv", "compute", "sync"
+
+
+class EventTrace:
+    """Per-rank event log recorded during a threaded SPMD run.
+
+    Every method is called by the owning rank's thread only and touches
+    only that rank's lane, so recording needs no synchronization and
+    adds no cross-rank ordering of its own — ordering is reconstructed
+    from clocks at replay time.
+    """
+
+    __slots__ = ("nranks", "events", "_send_seq")
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self.events: list[list[tuple]] = [[] for _ in range(nranks)]
+        self._send_seq = [0] * nranks
+
+    def record_send(
+        self, rank: int, dst: int, nbytes: int, phase: str | None
+    ) -> tuple[int, int]:
+        """Log a send; returns its ``(rank, seq)`` message id."""
+        seq = self._send_seq[rank]
+        self._send_seq[rank] = seq + 1
+        self.events[rank].append((_SEND, dst, nbytes, seq, phase))
+        return (rank, seq)
+
+    def record_recv(
+        self, rank: int, send_id: tuple[int, int], phase: str | None
+    ) -> None:
+        self.events[rank].append((_RECV, send_id, phase))
+
+    def record_compute(
+        self, rank: int, flops: float, phase: str | None
+    ) -> None:
+        if flops > 0:
+            self.events[rank].append((_COMPUTE, float(flops), phase))
+
+    def record_sync(
+        self, rank: int, key: tuple, expected: int, phase: str | None
+    ) -> None:
+        self.events[rank].append((_SYNC, key, expected, phase))
+
+    def n_events(self) -> int:
+        return sum(len(lane) for lane in self.events)
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Predicted wall-clock of one simulated run under one machine.
+
+    All times in seconds.  Per-rank tuples are indexed by world rank:
+
+    ``rank_seconds``
+        Each rank's finish time (its critical path through the replay).
+    ``compute_seconds`` / ``overhead_seconds`` / ``wait_seconds``
+        Exclusive decomposition of each rank's busy/blocked time:
+        flops/γ spent computing, α-per-send injection overhead, and
+        time blocked in receives or syncs.  The remainder of
+        ``rank_seconds`` is idle-free by construction (the replay never
+        advances a clock without one of these three causes or a
+        transfer arrival).
+    ``phase_seconds``
+        Time attributed to ledger phases (send overhead and compute at
+        the issuing site, blocked time at the receiving site) — the
+        per-phase *time* breakdown mirroring the ledger's per-phase
+        bytes.  Nested scopes attribute exclusively, same as the byte
+        ledger.
+    """
+
+    nranks: int
+    machine: str
+    rank_seconds: tuple[float, ...]
+    compute_seconds: tuple[float, ...]
+    overhead_seconds: tuple[float, ...]
+    wait_seconds: tuple[float, ...]
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    link_utilization: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Predicted wall-clock: the slowest rank's finish time."""
+        return max(self.rank_seconds) if self.rank_seconds else 0.0
+
+    @property
+    def total_compute_seconds(self) -> float:
+        return sum(self.compute_seconds)
+
+    @property
+    def total_comm_seconds(self) -> float:
+        """Send overhead + blocked time, summed over ranks."""
+        return sum(self.overhead_seconds) + sum(self.wait_seconds)
+
+    def phase_fraction(self, phase: str) -> float:
+        total = sum(self.phase_seconds.values())
+        if total == 0:
+            return 0.0
+        return self.phase_seconds.get(phase, 0.0) / total
+
+    def describe(self) -> str:
+        lines = [
+            f"machine={self.machine} predicted={self.makespan:.6e} s "
+            f"(compute {self.total_compute_seconds:.3e} s, "
+            f"comm {self.total_comm_seconds:.3e} s across "
+            f"{self.nranks} ranks)",
+        ]
+        for phase, secs in sorted(
+            self.phase_seconds.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  phase {phase:<24} {secs:.6e} s")
+        return "\n".join(lines)
+
+
+def simulate(trace: EventTrace, machine: "Machine") -> TimingReport:
+    """Replay a recorded trace under ``machine``'s α-β-γ parameters.
+
+    Deterministic: the only state is the trace (whose lanes are in
+    program order) and the machine; the event loop breaks clock ties by
+    rank id.
+    """
+    nranks = trace.nranks
+    net = LinkGraph(
+        nranks, machine.alpha, machine.beta, topology=machine.topology
+    )
+    gamma = machine.gamma_flops
+
+    clocks = [0.0] * nranks
+    cursors = [0] * nranks
+    compute_s = [0.0] * nranks
+    overhead_s = [0.0] * nranks
+    wait_s = [0.0] * nranks
+    phase_s: dict[str, float] = {}
+    finished = [False] * nranks
+
+    #: send_id -> arrival time, for sends already replayed
+    arrivals: dict[tuple[int, int], float] = {}
+    #: send_id -> (rank, clock-at-block, phase) for blocked receivers
+    waiting_recv: dict[tuple[int, int], tuple[int, float, str | None]] = {}
+    #: sync key -> list of (rank, clock-at-entry, phase)
+    sync_slots: dict[tuple, list[tuple[int, float, str | None]]] = {}
+
+    def charge(phase: str | None, seconds: float) -> None:
+        if phase is not None and seconds > 0:
+            phase_s[phase] = phase_s.get(phase, 0.0) + seconds
+
+    heap: list[tuple[float, int]] = [(0.0, r) for r in range(nranks)]
+    heapq.heapify(heap)
+
+    while heap:
+        clock, rank = heapq.heappop(heap)
+        if finished[rank]:
+            continue
+        lane = trace.events[rank]
+        if cursors[rank] >= len(lane):
+            finished[rank] = True
+            clocks[rank] = clock
+            continue
+        ev = lane[cursors[rank]]
+        cursors[rank] += 1
+        kind = ev[0]
+
+        if kind == _SEND:
+            _, dst, nbytes, seq, phase = ev
+            arrival = net.transfer(rank, dst, nbytes, ready=clock)
+            send_id = (rank, seq)
+            waiter = waiting_recv.pop(send_id, None)
+            if waiter is None:
+                arrivals[send_id] = arrival
+            else:
+                w_rank, w_clock, w_phase = waiter
+                waited = max(0.0, arrival - w_clock)
+                wait_s[w_rank] += waited
+                charge(w_phase, waited)
+                heapq.heappush(heap, (max(w_clock, arrival), w_rank))
+            overhead_s[rank] += machine.alpha
+            charge(phase, machine.alpha)
+            clock += machine.alpha
+            heapq.heappush(heap, (clock, rank))
+
+        elif kind == _RECV:
+            _, send_id, phase = ev
+            if send_id in arrivals:
+                arrival = arrivals.pop(send_id)
+                waited = max(0.0, arrival - clock)
+                wait_s[rank] += waited
+                charge(phase, waited)
+                heapq.heappush(heap, (max(clock, arrival), rank))
+            else:
+                # Matching send not replayed yet: block; the send's
+                # replay (above) re-queues us at the arrival time.
+                waiting_recv[send_id] = (rank, clock, phase)
+
+        elif kind == _COMPUTE:
+            _, flops, phase = ev
+            seconds = 0.0 if math.isinf(gamma) else flops / gamma
+            compute_s[rank] += seconds
+            charge(phase, seconds)
+            heapq.heappush(heap, (clock + seconds, rank))
+
+        else:  # _SYNC
+            _, key, expected, phase = ev
+            slot = sync_slots.setdefault(key, [])
+            slot.append((rank, clock, phase))
+            if len(slot) == expected:
+                del sync_slots[key]
+                release = max(c for _, c, _ in slot)
+                for s_rank, s_clock, s_phase in slot:
+                    waited = release - s_clock
+                    wait_s[s_rank] += waited
+                    charge(s_phase, waited)
+                    heapq.heappush(heap, (release, s_rank))
+            # else: block until the last participant arrives.
+
+    stuck = [r for r in range(nranks) if not finished[r]]
+    if stuck:
+        raise RuntimeError(
+            f"timing replay deadlocked: ranks {stuck} blocked "
+            f"({len(waiting_recv)} unmatched recvs, "
+            f"{len(sync_slots)} open syncs) — trace is inconsistent"
+        )
+
+    makespan = max(clocks) if clocks else 0.0
+    return TimingReport(
+        nranks=nranks,
+        machine=machine.name,
+        rank_seconds=tuple(clocks),
+        compute_seconds=tuple(compute_s),
+        overhead_seconds=tuple(overhead_s),
+        wait_seconds=tuple(wait_s),
+        phase_seconds=phase_s,
+        link_utilization=net.utilization(makespan),
+    )

@@ -12,6 +12,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smpi.timing import TimingReport
 
 
 @dataclass(frozen=True)
@@ -30,6 +34,12 @@ class VolumeReport:
         Tuple of message counts (sends), indexed by rank.
     phase_bytes:
         Mapping ``phase name -> total bytes sent`` across all ranks.
+        Nested phase scopes attribute *exclusively*: bytes sent inside
+        ``with comm.phase("outer"): with comm.phase("inner")`` count
+        under ``"outer/inner"`` only, never double under ``"outer"``.
+    timing:
+        Predicted-time report when the run was given a machine spec
+        (``run_spmd(..., machine=...)``); ``None`` for volume-only runs.
     """
 
     nranks: int
@@ -38,6 +48,7 @@ class VolumeReport:
     messages: tuple[int, ...]
     phase_bytes: dict[str, int] = field(default_factory=dict)
     phase_messages: dict[str, int] = field(default_factory=dict)
+    timing: "TimingReport | None" = None
 
     @property
     def total_bytes(self) -> int:
@@ -106,15 +117,45 @@ class VolumeLedger:
         self._msgs = [0] * nranks
         self._phase_bytes: dict[str, int] = {}
         self._phase_msgs: dict[str, int] = {}
-        self._phase_by_rank: list[str | None] = [None] * nranks
+        # Per-rank scope stack (rank-private: only the owning thread
+        # touches its own stack, so no lock is needed here).  ``None``
+        # entries suspend attribution for their scope.
+        self._phase_stack: list[list[str | None]] = [
+            [] for _ in range(nranks)
+        ]
         self._lock = threading.Lock()
 
+    def push_phase(self, rank: int, phase: str | None) -> None:
+        """Enter a phase scope on this rank (``None`` = unattributed)."""
+        self._phase_stack[rank].append(phase)
+
+    def pop_phase(self, rank: int) -> None:
+        self._phase_stack[rank].pop()
+
     def set_phase(self, rank: int, phase: str | None) -> None:
-        """Attribute subsequent sends *from this rank* to ``phase``."""
-        self._phase_by_rank[rank] = phase
+        """Replace the rank's whole scope stack (legacy single-level
+        API); prefer :meth:`push_phase`/:meth:`pop_phase`."""
+        self._phase_stack[rank][:] = [] if phase is None else [phase]
 
     def current_phase(self, rank: int) -> str | None:
-        return self._phase_by_rank[rank]
+        """Attribution label for the rank's current scope.
+
+        Nested scopes form a ``"/"``-joined path (``"outer/inner"``),
+        which makes per-phase totals *exclusive* by construction: a
+        byte lands under exactly one path key, so summing phase_bytes
+        never double counts.  A ``None`` scope suspends attribution;
+        the path restarts after the innermost ``None``.
+        """
+        stack = self._phase_stack[rank]
+        if not stack or stack[-1] is None:
+            return None
+        path: list[str] = []
+        for name in stack:
+            if name is None:
+                path.clear()
+            else:
+                path.append(name)
+        return "/".join(path) if path else None
 
     def record_send(self, rank: int, nbytes: int) -> None:
         if nbytes < 0:
@@ -122,7 +163,7 @@ class VolumeLedger:
         with self._lock:
             self._sent[rank] += nbytes
             self._msgs[rank] += 1
-            phase = self._phase_by_rank[rank]
+            phase = self.current_phase(rank)
             if phase is not None:
                 self._phase_bytes[phase] = (
                     self._phase_bytes.get(phase, 0) + nbytes

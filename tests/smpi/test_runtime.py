@@ -255,7 +255,9 @@ class TestVolumeAccounting:
                 comm.recv(source=0)
 
         _, report = run_spmd(2, fn)
-        assert report.phase_bytes == {"inner": 8, "outer": 8}
+        # Nested scopes report exclusive totals under their full path:
+        # the inner send is *not* double-counted into "outer".
+        assert report.phase_bytes == {"outer": 8, "outer/inner": 8}
 
 
 class TestPayloadNbytes:
