@@ -10,6 +10,11 @@ plan     Processor Grid Optimization + model predictions for a machine
 models   evaluate the Table 2 models at one (N, P)
 sweep    run the paper's experiment grids through the parallel sweep
          engine (list / run / resume / show-cache / clear-cache)
+serve    run the factorization service's TCP front-end (newline-
+         delimited JSON requests against the algorithm registry)
+loadgen  generate a synthetic workload (Zipf sizes, open/closed loop)
+         against an in-process service and report tail latency,
+         throughput, cache hit rate and rejections
 """
 
 from __future__ import annotations
@@ -298,6 +303,128 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.n_failed else 0
 
 
+def _service_config_from_args(args: argparse.Namespace):
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        request_timeout_s=args.timeout,
+        policy=args.policy,
+        executor=args.executor,
+    )
+
+
+def _service_cache(args: argparse.Namespace, tmp_dir: str | None = None):
+    """Result cache per the --cache-dir / --no-cache flags; falls back
+    to ``tmp_dir`` (loadgen's fresh scratch cache) when neither is
+    given, or the shared sweep cache when there is no fallback."""
+    from repro.harness.cache import SweepCache, default_cache_dir
+
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return SweepCache(args.cache_dir)
+    if tmp_dir is not None:
+        return SweepCache(tmp_dir)
+    return SweepCache(default_cache_dir())
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import FactorService, serve_tcp
+
+    try:
+        config = _service_config_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = _service_cache(args)
+
+    async def run() -> None:
+        service = FactorService(config, cache=cache)
+        async with service:
+            server = await serve_tcp(service, args.host, args.port)
+            addr = server.sockets[0].getsockname()
+            print(f"serving factorizations on {addr[0]}:{addr[1]} "
+                  f"(policy={config.policy}, workers={config.workers}, "
+                  f"queue_depth={config.queue_depth})")
+            print("protocol: one JSON request per line, e.g. "
+                  '{"impl": "conflux", "n": 64, "p": 4, "seed": 0} — '
+                  '{"op": "metrics"} for live metrics; Ctrl-C to stop')
+            async with server:
+                await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.service import ServiceConfig, WorkloadSpec, run_workload
+
+    try:
+        config = _service_config_from_args(args)
+        spec = WorkloadSpec(
+            mode=args.mode,
+            requests=args.requests,
+            clients=args.clients,
+            rate_rps=args.rate,
+            seed=args.seed,
+            zipf_s=args.zipf_s,
+            sizes=tuple(args.sizes),
+            seed_pool=args.seed_pool,
+            impl=args.algo,
+            p=args.p,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Default to a fresh scratch cache so repeated loadgen runs report
+    # reproducible hit counts; --cache-dir opts into a persistent
+    # (sweep-shared) cache, --no-cache disables caching entirely.
+    with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+        cache = _service_cache(args, tmp_dir=tmp)
+        report = run_workload(config, spec, cache=cache)
+
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote report to {args.json}")
+    counts = report.metrics["counts"]
+    return 1 if counts["errors"] else 0
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count (default 2)")
+    parser.add_argument("--queue-depth", type=int, default=16,
+                        help="admission bound: queued jobs before "
+                             "rejection (default 16)")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request timeout in seconds")
+    parser.add_argument("--policy", default="fifo",
+                        choices=["fifo", "least-loaded", "batch"],
+                        help="dispatch policy (default fifo)")
+    parser.add_argument("--executor", default="thread",
+                        choices=["thread", "process"],
+                        help="worker executor (default thread)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache directory "
+                             "(shared with the sweep engine)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="serve without a result cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -385,6 +512,48 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("-v", "--verbose", action="store_true",
                    dest="verbose", help="per-point progress lines")
     s.set_defaults(fn=_cmd_sweep)
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve factorization requests over TCP (JSON lines)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7077)
+    _add_service_flags(srv)
+    srv.set_defaults(fn=_cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="run a synthetic workload against an in-process service",
+    )
+    lg.add_argument("--mode", default="closed",
+                    choices=["closed", "open"],
+                    help="closed: fixed concurrency; open: Poisson "
+                         "arrivals at --rate regardless of completions")
+    lg.add_argument("--requests", type=int, default=200)
+    lg.add_argument("--clients", type=int, default=4,
+                    help="closed-loop concurrency (default 4)")
+    lg.add_argument("--rate", type=float, default=100.0,
+                    help="open-loop arrival rate in req/s")
+    lg.add_argument("--seed", type=int, default=0,
+                    help="workload seed (the request stream is a pure "
+                         "function of it)")
+    lg.add_argument("--zipf-s", type=float, default=1.2,
+                    help="Zipf skew of sizes and repeat matrices")
+    lg.add_argument("--sizes", type=int, nargs="+",
+                    default=[32, 48, 64, 96],
+                    help="problem-size catalog, most popular first")
+    lg.add_argument("--seed-pool", type=int, default=8,
+                    help="distinct matrices per size (smaller pool = "
+                         "more cache hits)")
+    lg.add_argument("--algo", "--impl", dest="algo", default="conflux",
+                    help="registered algorithm to request")
+    lg.add_argument("--p", type=int, default=4,
+                    help="ranks per request")
+    lg.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the report document as JSON")
+    _add_service_flags(lg)
+    lg.set_defaults(fn=_cmd_loadgen)
     return parser
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import itertools
 import json
 import multiprocessing
+import threading
 import time
 import traceback
 from collections.abc import Callable, Mapping, Sequence
@@ -117,14 +118,21 @@ class SweepPoint:
         )
 
     def label(self) -> str:
-        """Compact human-readable identity for logs and CLI output."""
-        parts = []
-        for k in ("impl", "n", "p"):
-            if k in self.params:
-                parts.append(f"{k}={self.params[k]}")
-        for k in sorted(self.params):
-            if k not in ("impl", "n", "p", "seed"):
-                parts.append(f"{k}={self.params[k]}")
+        """Compact human-readable identity for logs and CLI output.
+
+        Every parameter appears exactly once: the conventional identity
+        axes (impl, n, p) lead, everything else follows sorted.  Nothing
+        is skipped — two points differing only by ``seed`` (or any
+        other axis) must render distinct labels in logs and failure
+        reports.
+        """
+        lead = ("impl", "n", "p")
+        parts = [f"{k}={self.params[k]}" for k in lead if k in self.params]
+        parts += [
+            f"{k}={self.params[k]}"
+            for k in sorted(self.params)
+            if k not in lead
+        ]
         return f"{self.task}({', '.join(parts)})"
 
 
@@ -306,14 +314,68 @@ def _execute_point(point: SweepPoint) -> PointResult:
     )
 
 
+def _live_helper_threads() -> list[threading.Thread]:
+    """Non-main threads currently alive in this process."""
+    main = threading.main_thread()
+    return [
+        t for t in threading.enumerate() if t is not main and t.is_alive()
+    ]
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     # fork (where available) inherits the task registry, so tasks
     # registered by the calling module — not just the built-ins — work
-    # in workers; under spawn only import-time registrations resolve.
+    # in workers.  But forking a process that already has live helper
+    # threads (the thread-based smpi runtime, an asyncio executor) can
+    # deadlock the child on locks held mid-operation, and Python 3.12+
+    # deprecates exactly that; in that case prefer forkserver, then
+    # spawn, and rely on :func:`_worker_init` to restore non-builtin
+    # task registrations in the workers.
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else methods[0]
-    )
+    preferred = None
+    if "fork" in methods and not _live_helper_threads():
+        preferred = "fork"
+    else:
+        for candidate in ("forkserver", "spawn"):
+            if candidate in methods:
+                preferred = candidate
+                break
+    return multiprocessing.get_context(preferred or methods[0])
+
+
+def _task_snapshot() -> list[tuple[str, str, str, int]]:
+    """Import paths of every registered task that a fresh interpreter
+    can resolve (top-level functions only; closures registered by tests
+    or notebooks cannot be shipped to a spawned worker)."""
+    out = []
+    for name, fn in _TASKS.items():
+        module = getattr(fn, "__module__", None)
+        qualname = getattr(fn, "__qualname__", None)
+        if not module or not qualname or "<locals>" in qualname:
+            continue
+        out.append((name, module, qualname, _TASK_SCHEMA.get(name, 1)))
+    return out
+
+
+def _worker_init(snapshot: list[tuple[str, str, str, int]]) -> None:
+    """Pool initializer: under spawn/forkserver the parent's registry
+    is not inherited, so re-register every importable caller-provided
+    task by import path (the built-ins register on first lookup)."""
+    import importlib
+
+    _ensure_builtin_tasks()
+    for name, module, qualname, schema in snapshot:
+        if name in _TASKS:
+            continue
+        try:
+            obj: Any = importlib.import_module(module)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+        except Exception:
+            continue
+        if callable(obj):
+            _TASKS[name] = obj
+            _TASK_SCHEMA[name] = schema
 
 
 def run_sweep(
@@ -347,18 +409,41 @@ def run_sweep(
 
     def finish(idx: int, res: PointResult) -> None:
         # Cache-on-completion (not at sweep end) so an interrupted
-        # sweep still resumes from every point that finished.
-        slots[idx] = res
+        # sweep still resumes from every point that finished.  A
+        # failing cache write (unserialisable payload, disk full) or a
+        # raising progress callback is recorded as *that point's*
+        # error — it must never unwind run_sweep and discard every
+        # completed-but-uncached result.
         if cache is not None and res.ok and not res.from_cache:
-            cache.put(
-                res.point.cache_key(),
-                res.point.task,
-                dict(res.point.params),
-                res.result,
-                res.elapsed_s,
-            )
+            try:
+                cache.put(
+                    res.point.cache_key(),
+                    res.point.task,
+                    dict(res.point.params),
+                    res.result,
+                    res.elapsed_s,
+                )
+            except Exception as exc:
+                res = PointResult(
+                    point=res.point,
+                    status=STATUS_ERROR,
+                    result=res.result,
+                    error=f"cache.put failed: {exc}",
+                    elapsed_s=res.elapsed_s,
+                )
+        slots[idx] = res
         if progress is not None:
-            progress(res)
+            try:
+                progress(res)
+            except Exception as exc:
+                slots[idx] = PointResult(
+                    point=res.point,
+                    status=STATUS_ERROR,
+                    result=res.result,
+                    error=f"progress callback failed: {exc}",
+                    from_cache=res.from_cache,
+                    elapsed_s=res.elapsed_s,
+                )
 
     pending: list[tuple[int, SweepPoint]] = []
     for idx, point in enumerate(points):
@@ -383,6 +468,8 @@ def run_sweep(
         with ProcessPoolExecutor(
             max_workers=min(workers, len(pending)),
             mp_context=_pool_context(),
+            initializer=_worker_init,
+            initargs=(_task_snapshot(),),
         ) as pool:
             futures = {
                 pool.submit(_execute_point, point): idx

@@ -1,0 +1,102 @@
+"""Service configuration: worker pool shape, queue bounds, policy.
+
+A frozen dataclass (like :class:`repro.models.machines.Machine`) so a
+running service's configuration cannot drift; ``validate()`` runs in
+``__post_init__`` and names the offending field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+EXECUTORS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`~repro.service.server.FactorService`.
+
+    Attributes
+    ----------
+    workers:
+        Worker coroutines pulling from the dispatch policy; also the
+        executor's pool size.
+    queue_depth:
+        Admission bound: jobs admitted but not yet running.  A submit
+        arriving when the policy already holds this many jobs is
+        rejected with a ``retry_after_s`` hint instead of growing the
+        queue without bound.
+    request_timeout_s:
+        Per-request deadline.  The waiter gets a ``timeout`` response;
+        the underlying job still completes and populates the cache (it
+        cannot be interrupted mid-factorization).
+    policy:
+        Dispatch policy name — ``fifo``, ``least-loaded`` or ``batch``
+        (see :mod:`repro.service.dispatch`).
+    executor:
+        ``thread`` (default: cheap startup, fine for the simulated
+        runtime which releases the GIL in numpy kernels) or
+        ``process`` (one interpreter per worker, start method chosen
+        by the fork-safe :func:`repro.harness.sweep._pool_context`).
+    batch_window_s / batch_max_size / batch_n_max:
+        The ``batch`` policy's knobs: how long to hold a group open
+        for stragglers, the launch size cap, and the largest N still
+        considered "small" enough to batch.
+    """
+
+    workers: int = 2
+    queue_depth: int = 16
+    request_timeout_s: float = 60.0
+    policy: str = "fifo"
+    executor: str = "thread"
+    batch_window_s: float = 0.01
+    batch_max_size: int = 8
+    batch_n_max: int = 128
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        from repro.service.dispatch import DISPATCH_POLICIES
+
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0, got "
+                f"{self.request_timeout_s}"
+            )
+        if self.policy not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; available: "
+                f"{sorted(DISPATCH_POLICIES)}"
+            )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; available: "
+                f"{EXECUTORS}"
+            )
+        if self.batch_window_s < 0:
+            raise ValueError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.batch_max_size < 1:
+            raise ValueError(
+                f"batch_max_size must be >= 1, got {self.batch_max_size}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "request_timeout_s": self.request_timeout_s,
+            "policy": self.policy,
+            "executor": self.executor,
+            "batch_window_s": self.batch_window_s,
+            "batch_max_size": self.batch_max_size,
+            "batch_n_max": self.batch_n_max,
+        }

@@ -14,7 +14,11 @@ from repro.harness.specs import (
 from repro.harness.sweep import (
     SkipPoint,
     SweepError,
+    SweepPoint,
     SweepSpec,
+    _pool_context,
+    _task_snapshot,
+    _worker_init,
     run_sweep,
     task,
     unregister_task,
@@ -171,6 +175,153 @@ class TestCacheSemantics:
     def test_max_points_truncates(self, scratch_task):
         res = run_sweep(scratch_spec(), max_points=2)
         assert res.n_points == 2
+
+
+class TestPointLabels:
+    def test_label_shows_every_param(self):
+        point = SweepPoint(
+            task="measured",
+            params={"impl": "conflux", "n": 64, "p": 4, "seed": 3},
+        )
+        label = point.label()
+        assert label.startswith("measured(impl=conflux, n=64, p=4")
+        assert "seed=3" in label
+
+    def test_points_differing_only_by_seed_get_distinct_labels(self):
+        # Regression: seed was on a hard-coded skip list, so two points
+        # differing only by seed rendered identical labels in logs and
+        # failure reports.
+        a = SweepPoint(task="t", params={"n": 64, "seed": 0})
+        b = SweepPoint(task="t", params={"n": 64, "seed": 1})
+        assert a.label() != b.label()
+
+    def test_label_mentions_each_param_once(self):
+        point = SweepPoint(
+            task="t",
+            params={"impl": "x", "n": 8, "p": 2, "v": 4, "seed": 7},
+        )
+        label = point.label()
+        for key in point.params:
+            assert label.count(f"{key}=") == 1
+
+
+class TestPoolContext:
+    def test_prefers_fork_without_helper_threads(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork")
+        # the test process itself should be thread-free here; if some
+        # other test leaked a thread this still documents the intent
+        import threading
+
+        helpers = [
+            t for t in threading.enumerate()
+            if t is not threading.main_thread() and t.is_alive()
+        ]
+        if helpers:
+            pytest.skip(f"leaked helper threads present: {helpers}")
+        assert _pool_context().get_start_method() == "fork"
+
+    def test_live_thread_falls_back_to_non_fork(self):
+        # Regression: forking after the thread-based smpi runtime has
+        # started threads is deadlock-prone (and deprecated on 3.12+).
+        import threading
+
+        release = threading.Event()
+        helper = threading.Thread(target=release.wait)
+        helper.start()
+        try:
+            assert _pool_context().get_start_method() != "fork"
+        finally:
+            release.set()
+            helper.join()
+
+    def test_task_snapshot_lists_importable_tasks_only(self, scratch_task):
+        names = {entry[0] for entry in _task_snapshot()}
+        # built-ins are top-level functions and ship by import path
+        assert "measured" in names and "model" in names
+        # the scratch task is a fixture closure: unreachable from a
+        # spawned worker, so it must not be in the snapshot
+        assert scratch_task not in names
+
+    def test_worker_init_restores_tasks_from_snapshot(self):
+        from repro.harness import sweep as sweep_mod
+
+        snapshot = _task_snapshot()
+        saved_tasks = dict(sweep_mod._TASKS)
+        saved_schema = dict(sweep_mod._TASK_SCHEMA)
+        try:
+            sweep_mod._TASKS.clear()
+            sweep_mod._TASK_SCHEMA.clear()
+            _worker_init(snapshot)
+            assert "measured" in sweep_mod._TASKS
+            assert "model" in sweep_mod._TASKS
+        finally:
+            sweep_mod._TASKS.clear()
+            sweep_mod._TASKS.update(saved_tasks)
+            sweep_mod._TASK_SCHEMA.clear()
+            sweep_mod._TASK_SCHEMA.update(saved_schema)
+
+    def test_pool_sweep_completes_with_live_thread(self, tmp_path):
+        # End to end: a sweep over the pool must work while a helper
+        # thread is alive (spawn/forkserver path + initializer).
+        import threading
+
+        release = threading.Event()
+        helper = threading.Thread(target=release.wait)
+        helper.start()
+        try:
+            spec = named_spec("table2-models")
+            res = run_sweep(spec, workers=2, max_points=2)
+            assert res.n_ok == 2 and res.n_failed == 0
+        finally:
+            release.set()
+            helper.join()
+
+
+class TestFinishRobustness:
+    @pytest.fixture
+    def unserialisable_task(self):
+        @task("_unserialisable", schema_version=1)
+        def unserialisable(x: int) -> dict:
+            # a set cannot be JSON-encoded: cache.put will raise
+            return {"x": x, "payload": {1, 2} if x == 2 else x}
+
+        yield "_unserialisable"
+        unregister_task("_unserialisable")
+
+    def test_cache_put_failure_is_recorded_not_raised(
+        self, tmp_path, unserialisable_task
+    ):
+        cache = SweepCache(tmp_path)
+        spec = SweepSpec(
+            name="s", task="_unserialisable", axes={"x": [1, 2, 3]},
+        )
+        res = run_sweep(spec, cache=cache)  # must not raise
+        assert res.n_failed == 1 and res.n_ok == 2
+        failure = res.failures()[0]
+        assert failure.point.params["x"] == 2
+        assert "cache.put failed" in failure.error
+        # the computed payload is retained on the point result even
+        # though it could not be cached
+        assert failure.result["x"] == 2
+        # the two good points were cached normally
+        assert cache.stats()["entries"] == 2
+
+    def test_raising_progress_callback_does_not_unwind(self, scratch_task):
+        def progress(res):
+            if res.point.params["x"] == 2:
+                raise RuntimeError("observer crashed")
+
+        res = run_sweep(scratch_spec(), progress=progress)
+        assert res.n_points == 3
+        assert res.n_failed == 1
+        failure = res.failures()[0]
+        assert "progress callback failed" in failure.error
+        assert "observer crashed" in failure.error
+        # the other points are untouched
+        assert [r.status for r in res.results] == ["ok", "error", "ok"]
 
 
 class TestFailureAndResume:

@@ -1,0 +1,163 @@
+"""Dispatch policy semantics: ordering, balance, batching."""
+
+import asyncio
+
+import pytest
+
+from repro.service.config import ServiceConfig
+from repro.service.dispatch import (
+    DISPATCH_POLICIES,
+    BatchPolicy,
+    FifoPolicy,
+    LeastLoadedPolicy,
+    make_policy,
+)
+from repro.service.jobs import FactorRequest, Job
+
+
+def _job(n=32, seed=0, **kw):
+    request = FactorRequest(n=n, seed=seed, **kw)
+    return Job(
+        request=request,
+        key=request.cache_key(),
+        future=None,
+        submitted_at=0.0,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRegistry:
+    def test_policies_registered(self):
+        assert set(DISPATCH_POLICIES) == {"fifo", "least-loaded", "batch"}
+
+    def test_make_policy_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dispatch policy"):
+            make_policy("round-robin", 2, ServiceConfig())
+
+    def test_config_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            ServiceConfig(policy="round-robin")
+
+
+class TestFifo:
+    def test_strict_arrival_order(self):
+        async def go():
+            policy = FifoPolicy(2, ServiceConfig())
+            jobs = [_job(seed=i) for i in range(5)]
+            for job in jobs:
+                await policy.put(job)
+            assert policy.depth() == 5
+            seen = []
+            for _ in jobs:
+                (job,) = await policy.get(0)
+                seen.append(job.request.seed)
+            assert seen == [0, 1, 2, 3, 4]
+            assert policy.depth() == 0
+
+        run(go())
+
+    def test_shutdown_delivers_one_sentinel_per_worker(self):
+        async def go():
+            policy = FifoPolicy(3, ServiceConfig())
+            await policy.shutdown()
+            assert [await policy.get(i) for i in range(3)] == [
+                None, None, None,
+            ]
+
+        run(go())
+
+
+class TestLeastLoaded:
+    def test_spreads_jobs_across_idle_workers(self):
+        async def go():
+            policy = LeastLoadedPolicy(2, ServiceConfig())
+            for i in range(4):
+                await policy.put(_job(seed=i))
+            # alternating routing: both workers hold two jobs
+            assert policy._queues[0].qsize() == 2
+            assert policy._queues[1].qsize() == 2
+
+        run(go())
+
+    def test_avoids_busy_worker(self):
+        async def go():
+            policy = LeastLoadedPolicy(2, ServiceConfig())
+            # worker 0 is busy with a two-job unit: both new jobs must
+            # route to the idle worker 1
+            policy.task_started(0, 2)
+            for i in range(2):
+                await policy.put(_job(seed=i))
+            assert policy._queues[0].qsize() == 0
+            assert policy._queues[1].qsize() == 2
+            policy.task_done(0, 2)
+
+        run(go())
+
+
+class TestBatch:
+    def _config(self, **kw):
+        defaults = dict(
+            policy="batch", batch_window_s=0.01, batch_max_size=3,
+            batch_n_max=64,
+        )
+        defaults.update(kw)
+        return ServiceConfig(**defaults)
+
+    def test_full_group_flushes_immediately(self):
+        async def go():
+            policy = BatchPolicy(1, self._config())
+            for seed in range(3):
+                await policy.put(_job(n=32, seed=seed))
+            unit = await policy.get(0)
+            assert [j.request.seed for j in unit] == [0, 1, 2]
+
+        run(go())
+
+    def test_window_flushes_partial_group(self):
+        async def go():
+            policy = BatchPolicy(1, self._config(batch_window_s=0.01))
+            await policy.put(_job(n=32, seed=0))
+            assert policy.depth() == 1
+            unit = await asyncio.wait_for(policy.get(0), timeout=1.0)
+            assert len(unit) == 1
+
+        run(go())
+
+    def test_different_shapes_never_share_a_unit(self):
+        async def go():
+            policy = BatchPolicy(1, self._config())
+            await policy.put(_job(n=32, seed=0))
+            await policy.put(_job(n=48, seed=0))
+            units = [
+                await asyncio.wait_for(policy.get(0), timeout=1.0)
+                for _ in range(2)
+            ]
+            for unit in units:
+                assert len(unit) == 1
+                assert len({j.request.shape_key() for j in unit}) == 1
+
+        run(go())
+
+    def test_large_problems_pass_straight_through(self):
+        async def go():
+            policy = BatchPolicy(1, self._config(batch_n_max=64))
+            await policy.put(_job(n=128, seed=0))
+            # no window wait: the unit is already queued
+            unit = await asyncio.wait_for(policy.get(0), timeout=0.05)
+            assert len(unit) == 1 and unit[0].request.n == 128
+
+        run(go())
+
+    def test_shutdown_flushes_staged_jobs(self):
+        async def go():
+            policy = BatchPolicy(1, self._config())
+            await policy.put(_job(n=32, seed=0))
+            await policy.shutdown()
+            unit = await policy.get(0)
+            assert len(unit) == 1
+            assert await policy.get(0) is None
+
+        run(go())

@@ -1,0 +1,68 @@
+"""Request identity: params, cache keys, shape keys."""
+
+import pytest
+
+from repro.harness.cache import point_key
+from repro.harness.sweep import task_schema_version
+from repro.service.jobs import SERVICE_TASK, FactorRequest
+
+
+class TestParams:
+    def test_optional_fields_omitted_when_unset(self):
+        params = FactorRequest(impl="conflux", n=64, p=4, seed=3).params()
+        assert params == {"impl": "conflux", "n": 64, "p": 4, "seed": 3}
+
+    def test_optional_fields_present_when_set(self):
+        params = FactorRequest(
+            impl="caqr25d", n=64, p=8, seed=0, v=4, machine="summit"
+        ).params()
+        assert params["v"] == 4
+        assert params["machine"] == "summit"
+        assert "nb" not in params
+
+
+class TestCacheKeyReuse:
+    def test_key_is_the_measured_sweep_point_key(self):
+        # The content-addressed serving cache and the sweep cache are
+        # the same store: a request's key IS the key of the identical
+        # 'measured' sweep point.
+        request = FactorRequest(impl="conflux", n=64, p=4, seed=0)
+        expected = point_key(
+            SERVICE_TASK,
+            {"impl": "conflux", "n": 64, "p": 4, "seed": 0},
+            task_schema_version(SERVICE_TASK),
+        )
+        assert request.cache_key() == expected
+
+    def test_key_varies_with_seed(self):
+        a = FactorRequest(n=64, seed=0).cache_key()
+        b = FactorRequest(n=64, seed=1).cache_key()
+        assert a != b
+
+
+class TestShapeKey:
+    def test_shape_key_ignores_seed(self):
+        a = FactorRequest(n=64, p=4, seed=0)
+        b = FactorRequest(n=64, p=4, seed=9)
+        assert a.shape_key() == b.shape_key()
+
+    def test_shape_key_varies_with_problem(self):
+        assert (
+            FactorRequest(n=64).shape_key()
+            != FactorRequest(n=96).shape_key()
+        )
+
+
+class TestFromDict:
+    def test_round_trip(self):
+        doc = {"impl": "conflux", "n": 48, "p": 4, "seed": 2, "v": 4}
+        request = FactorRequest.from_dict(doc)
+        assert request.n == 48 and request.v == 4
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            FactorRequest.from_dict({"n": 48, "blocksize": 4})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            FactorRequest.from_dict([1, 2, 3])

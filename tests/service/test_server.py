@@ -1,0 +1,360 @@
+"""FactorService end-to-end: caching, coalescing, overload, TCP.
+
+These are the ISSUE's required behaviours: a repeat matrix never
+reaches a worker, overload produces explicit bounded-queue rejections,
+and a fixed workload seed reproduces the same outcome counts.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.harness.cache import SweepCache
+from repro.service import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    FactorRequest,
+    FactorService,
+    ServiceConfig,
+    serve_tcp,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def fake_runner(params):
+    """Instant stand-in for run_factor_job: echoes the problem."""
+    return {"params": dict(params), "residual": 0.0}
+
+
+def slow_runner(delay_s):
+    def runner(params):
+        time.sleep(delay_s)
+        return {"params": dict(params), "residual": 0.0}
+
+    return runner
+
+
+def failing_runner(params):
+    raise RuntimeError("synthetic factorization failure")
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self):
+        async def go():
+            service = FactorService(ServiceConfig())
+            with pytest.raises(RuntimeError, match="not started"):
+                await service.submit(FactorRequest(n=32))
+
+        run(go())
+
+    def test_double_start_raises(self):
+        async def go():
+            async with FactorService(
+                ServiceConfig(), job_runner=fake_runner
+            ) as service:
+                with pytest.raises(RuntimeError, match="already started"):
+                    await service.start()
+
+        run(go())
+
+    def test_stop_is_idempotent(self):
+        async def go():
+            service = FactorService(
+                ServiceConfig(), job_runner=fake_runner
+            )
+            await service.start()
+            await service.stop()
+            await service.stop()
+
+        run(go())
+
+
+class TestCacheHit:
+    def test_second_identical_request_never_reaches_a_worker(
+        self, tmp_path
+    ):
+        async def go():
+            cache = SweepCache(tmp_path)
+            async with FactorService(
+                ServiceConfig(workers=1), cache=cache,
+                job_runner=fake_runner,
+            ) as service:
+                first = await service.submit(FactorRequest(n=32, seed=0))
+                assert first.status == STATUS_OK
+                assert not first.cache_hit
+                assert service.worker_executions == 1
+
+                second = await service.submit(FactorRequest(n=32, seed=0))
+                assert second.status == STATUS_OK
+                assert second.cache_hit
+                # the worker count did not move: the hit was served
+                # straight from the content-addressed cache.
+                assert service.worker_executions == 1
+                assert second.result == first.result
+
+        run(go())
+
+    def test_sweep_cache_entries_are_warm_for_the_service(self, tmp_path):
+        # A point factored by the sweep harness under the 'measured'
+        # task is already a service cache hit: same key space.
+        from repro.harness.cache import point_key
+        from repro.harness.sweep import task_schema_version
+
+        async def go():
+            cache = SweepCache(tmp_path)
+            request = FactorRequest(impl="conflux", n=32, p=4, seed=0)
+            key = point_key(
+                "measured", request.params(),
+                task_schema_version("measured"),
+            )
+            cache.put(
+                key, "measured", request.params(),
+                {"residual": 1e-16}, 0.01,
+            )
+            async with FactorService(
+                ServiceConfig(workers=1), cache=cache,
+                job_runner=fake_runner,
+            ) as service:
+                response = await service.submit(request)
+                assert response.cache_hit
+                assert service.worker_executions == 0
+
+        run(go())
+
+    def test_cache_write_failure_never_kills_the_response(self, tmp_path):
+        def unserialisable(params):
+            return {"payload": {1, 2, 3}}  # sets are not JSON
+
+        async def go():
+            async with FactorService(
+                ServiceConfig(workers=1), cache=SweepCache(tmp_path),
+                job_runner=unserialisable,
+            ) as service:
+                response = await service.submit(FactorRequest(n=32))
+                assert response.status == STATUS_OK
+                assert service.cache_write_failures == 1
+
+        run(go())
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_compute_once(self):
+        async def go():
+            async with FactorService(
+                ServiceConfig(workers=2),
+                job_runner=slow_runner(0.05),
+            ) as service:
+                request = FactorRequest(n=32, seed=0)
+                responses = await asyncio.gather(
+                    *(service.submit(request) for _ in range(5))
+                )
+                assert all(r.status == STATUS_OK for r in responses)
+                assert service.worker_executions == 1
+                assert sum(r.coalesced for r in responses) == 4
+
+        run(go())
+
+    def test_distinct_requests_do_not_coalesce(self):
+        async def go():
+            async with FactorService(
+                ServiceConfig(workers=2), job_runner=fake_runner
+            ) as service:
+                responses = await asyncio.gather(
+                    *(
+                        service.submit(FactorRequest(n=32, seed=s))
+                        for s in range(3)
+                    )
+                )
+                assert service.worker_executions == 3
+                assert not any(r.coalesced for r in responses)
+
+        run(go())
+
+
+class TestOverload:
+    def test_bounded_queue_rejects_with_retry_hint(self):
+        async def go():
+            config = ServiceConfig(
+                workers=1, queue_depth=2, request_timeout_s=10.0
+            )
+            async with FactorService(
+                config, job_runner=slow_runner(0.05)
+            ) as service:
+                requests = [FactorRequest(n=32, seed=s) for s in range(10)]
+                responses = await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+                rejected = [
+                    r for r in responses if r.status == STATUS_REJECTED
+                ]
+                accepted = [r for r in responses if r.status == STATUS_OK]
+                assert rejected, "overload must produce rejections"
+                assert accepted, "some requests must still be served"
+                assert len(rejected) + len(accepted) == len(requests)
+                for r in rejected:
+                    assert r.retry_after_s is not None
+                    assert r.retry_after_s > 0
+                    assert "queue full" in r.error
+                # the queue never held more than its bound
+                assert (
+                    service.metrics_snapshot()["max_queue_depth"]
+                    <= config.queue_depth
+                )
+
+        run(go())
+
+    def test_rejected_requests_succeed_on_retry(self):
+        async def go():
+            config = ServiceConfig(workers=1, queue_depth=1)
+            async with FactorService(
+                config, job_runner=slow_runner(0.02)
+            ) as service:
+                requests = [FactorRequest(n=32, seed=s) for s in range(6)]
+                responses = await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+                retry = [
+                    r.request for r in responses
+                    if r.status == STATUS_REJECTED
+                ]
+                assert retry
+                # drained queue: sequential retries are admitted now
+                for request in retry[:2]:
+                    second = await service.submit(request)
+                    assert second.status == STATUS_OK
+
+        run(go())
+
+
+class TestFailureModes:
+    def test_runner_exception_becomes_error_response(self):
+        async def go():
+            async with FactorService(
+                ServiceConfig(workers=1), job_runner=failing_runner
+            ) as service:
+                response = await service.submit(FactorRequest(n=32))
+                assert response.status == STATUS_ERROR
+                assert "synthetic factorization failure" in response.error
+                # the service stays healthy for the next request
+                assert (
+                    await service.submit(FactorRequest(n=48))
+                ).status == STATUS_ERROR
+
+        run(go())
+
+    def test_slow_job_times_out_without_killing_the_worker(self):
+        async def go():
+            config = ServiceConfig(workers=1, request_timeout_s=0.02)
+            async with FactorService(
+                config, job_runner=slow_runner(0.2)
+            ) as service:
+                response = await service.submit(FactorRequest(n=32))
+                assert response.status == STATUS_TIMEOUT
+                assert "keeps running" in response.error
+
+        run(go())
+
+
+class TestDeterministicCounts:
+    def test_same_workload_seed_same_counts(self, tmp_path):
+        # The smoke half of the BENCH_service determinism story at
+        # service level: identical request streams produce identical
+        # outcome counters whatever the interleaving.
+        from repro.service import WorkloadSpec, run_workload_async
+
+        spec = WorkloadSpec(
+            mode="closed", requests=30, clients=4, seed=0,
+            sizes=(24, 32), seed_pool=4,
+        )
+
+        async def one(subdir):
+            config = ServiceConfig(workers=2)
+            report = await run_workload_async(
+                config, spec, cache=SweepCache(tmp_path / subdir),
+                job_runner=fake_runner,
+            )
+            return report.metrics["counts"]
+
+        counts_a = run(one("a"))
+        counts_b = run(one("b"))
+        assert counts_a == counts_b
+        assert counts_a["completed"] == spec.requests
+        assert counts_a["computed"] < spec.requests
+
+
+class TestTcpFrontend:
+    def test_request_metrics_and_bad_input_over_tcp(self):
+        async def go():
+            async with FactorService(
+                ServiceConfig(workers=1), job_runner=fake_runner
+            ) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    try:
+                        # 1. a factorization request
+                        writer.write(
+                            json.dumps({"n": 32, "seed": 1}).encode()
+                            + b"\n"
+                        )
+                        await writer.drain()
+                        reply = json.loads(await reader.readline())
+                        assert reply["status"] == STATUS_OK
+                        assert reply["request"]["n"] == 32
+
+                        # 2. the metrics op
+                        writer.write(b'{"op": "metrics"}\n')
+                        await writer.drain()
+                        metrics = json.loads(await reader.readline())
+                        assert metrics["counts"]["completed"] == 1
+
+                        # 3. malformed input gets a structured error,
+                        #    not a dropped connection
+                        writer.write(b"this is not json\n")
+                        await writer.drain()
+                        bad = json.loads(await reader.readline())
+                        assert bad["status"] == "bad-request"
+
+                        # 4. unknown fields are rejected the same way
+                        writer.write(b'{"n": 32, "blocksize": 9}\n')
+                        await writer.drain()
+                        bad = json.loads(await reader.readline())
+                        assert bad["status"] == "bad-request"
+                        assert "unknown request fields" in bad["error"]
+                    finally:
+                        writer.close()
+                        await writer.wait_closed()
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        run(go())
+
+
+class TestRealFactorization:
+    def test_service_serves_a_real_conflux_factorization(self, tmp_path):
+        # No stub runner: the default executor path runs the actual
+        # registry 'measured' task end to end.
+        async def go():
+            async with FactorService(
+                ServiceConfig(workers=1),
+                cache=SweepCache(tmp_path),
+            ) as service:
+                response = await service.submit(
+                    FactorRequest(impl="conflux", n=24, p=4, seed=0)
+                )
+                assert response.status == STATUS_OK
+                assert response.result["impl"] == "conflux"
+                assert response.result["residual"] < 1e-10
+
+        run(go())
