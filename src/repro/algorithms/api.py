@@ -136,6 +136,9 @@ def factor(
     *,
     grid: tuple[int, ...] | None = None,
     machine=None,
+    faults=None,
+    fault_seed: int | None = None,
+    timeout_s: float | None = None,
     **opts,
 ) -> FactorResult:
     """Factor ``a`` with the named algorithm; the one entry point for
@@ -147,8 +150,14 @@ def factor(
     path, or a :class:`~repro.models.machines.Machine`) turns on the
     discrete-event clock: the result's ``volume.timing`` then carries
     predicted per-rank seconds under that machine's α-β-γ parameters.
-    Remaining keyword options (``v``/``nb``, ``timeout``, ``m_max``)
-    pass through to the implementation.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`, plan dict, or JSON
+    path) arms deterministic fault injection; ``fault_seed`` overrides
+    the plan's seed, so one plan file replays many chaos variants.
+    ``timeout_s`` sets the per-run watchdog window on every blocking
+    receive (the spelled-out alias of the implementations' ``timeout``
+    option).  Remaining keyword options (``v``/``nb``, ``timeout``,
+    ``m_max``) pass through to the implementation.
     """
     info = get_algorithm(name)
     if machine is not None:
@@ -157,6 +166,20 @@ def factor(
         from repro.models.machines import resolve_machine
 
         opts["machine"] = resolve_machine(machine)
+    if timeout_s is not None:
+        if "timeout" in opts:
+            raise ValueError("pass timeout_s= or timeout=, not both")
+        opts["timeout"] = float(timeout_s)
+    if faults is not None:
+        # Same eager-resolution rationale as machine specs.
+        from repro.faults import resolve_faults
+
+        plan = resolve_faults(faults)
+        if fault_seed is not None:
+            plan = plan.with_seed(fault_seed)
+        opts["faults"] = plan
+    elif fault_seed is not None:
+        raise ValueError("fault_seed= given without faults=")
     if info.kind == "mmm":
         raise ValueError(
             f"{name} computes a matrix product, not a factorization; "

@@ -297,6 +297,7 @@ def _factor_candmc25d(
     m_max: float | None = None,
     timeout: float = 600.0,
     machine=None,
+    faults=None,
 ) -> FactorResult:
     """Factor ``a`` with the CANDMC-like 2.5D schedule (row swapping +
     full-width panel replication)."""
@@ -324,7 +325,7 @@ def _factor_candmc25d(
         v = n
     results, report = run_spmd(
         nranks, _candmc_rank_fn, a, g, c, v,
-        timeout=timeout, machine=machine,
+        timeout=timeout, machine=machine, faults=faults,
     )
     lower, upper, perm = _assemble(n, v, results)
     residual = verify_factors(a, lower, upper, perm)

@@ -302,6 +302,7 @@ def _factor_caqr25d(
     v: int | None = None,
     timeout: float = 600.0,
     machine=None,
+    faults=None,
 ) -> FactorResult:
     """2.5D CAQR of a square matrix; returns explicit Q and R.
 
@@ -331,7 +332,7 @@ def _factor_caqr25d(
         v = n
     results, report = run_spmd(
         nranks, _caqr_rank_fn, a, g, c, v,
-        timeout=timeout, machine=machine,
+        timeout=timeout, machine=machine, faults=faults,
     )
     upper = _assemble_r(n, results)
     q = _assemble_q(n, g, v, results)

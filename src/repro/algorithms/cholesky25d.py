@@ -236,6 +236,7 @@ def _factor_cholesky25d(
     v: int | None = None,
     timeout: float = 600.0,
     machine=None,
+    faults=None,
 ) -> FactorResult:
     """2.5D Cholesky of an SPD matrix; returns L with A = L L^T.
 
@@ -266,7 +267,7 @@ def _factor_cholesky25d(
         v = n
     results, report = run_spmd(
         nranks, _cholesky_rank_fn, a, g, c, v,
-        timeout=timeout, machine=machine,
+        timeout=timeout, machine=machine, faults=faults,
     )
     lower = _assemble_cholesky(n, v, results)
     residual = float(

@@ -324,6 +324,7 @@ def _factor_conflux(
     m_max: float | None = None,
     timeout: float = 600.0,
     machine=None,
+    faults=None,
 ) -> FactorResult:
     """Factor ``a`` with COnfLUX on ``nranks`` simulated ranks.
 
@@ -357,7 +358,7 @@ def _factor_conflux(
 
     results, report = run_spmd(
         nranks, _conflux_rank_fn, a, g, c, v,
-        timeout=timeout, machine=machine,
+        timeout=timeout, machine=machine, faults=faults,
     )
     lower, upper, perm = _assemble(n, v, results)
     residual = verify_factors(a, lower, upper, perm)

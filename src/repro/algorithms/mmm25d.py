@@ -102,6 +102,7 @@ def mmm25d(
     grid: tuple[int, int, int] | None = None,
     timeout: float = 600.0,
     machine=None,
+    faults=None,
 ) -> tuple[np.ndarray, VolumeReport, tuple[int, int, int]]:
     """Multiply C = A @ B on a [G, G, c] grid; returns (C, volume, grid).
 
@@ -135,7 +136,7 @@ def mmm25d(
         )
     results, report = run_spmd(
         nranks, _mmm_rank_fn, a, b, g, c,
-        timeout=timeout, machine=machine,
+        timeout=timeout, machine=machine, faults=faults,
     )
     out = np.zeros((n, n))
     for r in results:

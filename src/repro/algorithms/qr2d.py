@@ -211,6 +211,7 @@ def _factor_qr2d(
     nb: int = 16,
     timeout: float = 600.0,
     machine=None,
+    faults=None,
 ) -> FactorResult:
     """ScaLAPACK-style 2D Householder QR; returns explicit Q and R.
 
@@ -231,7 +232,7 @@ def _factor_qr2d(
         )
     results, report = run_spmd(
         nranks, _rank_fn, a, prows, pcols, nb,
-        timeout=timeout, machine=machine,
+        timeout=timeout, machine=machine, faults=faults,
     )
     q, upper = _assemble_qr2d(n, results, pcols, nb)
     residual, orthogonality = verify_qr_factors(a, q, upper)

@@ -234,6 +234,7 @@ def _run_2d(
     prefer_tall: bool,
     timeout: float,
     machine=None,
+    faults=None,
 ) -> FactorResult:
     a = validate_input_matrix(a)
     n = a.shape[0]
@@ -248,7 +249,7 @@ def _run_2d(
         )
     results, report = run_spmd(
         nranks, _rank_fn, a, prows, pcols, nb,
-        timeout=timeout, machine=machine,
+        timeout=timeout, machine=machine, faults=faults,
     )
     combined, piv = _assemble_2d(n, results)
     from repro.kernels.lu_seq import split_lu
@@ -286,12 +287,14 @@ def _factor_scalapack2d(
     nb: int = 32,
     timeout: float = 600.0,
     machine=None,
+    faults=None,
 ) -> FactorResult:
     """LibSci/ScaLAPACK-like LU: 2D block-cyclic, partial pivoting with
     physical row swaps, user-tunable block size (Table 2: "user param.
     required: yes")."""
     return _run_2d(
-        "scalapack2d", a, nranks, grid, nb, False, timeout, machine
+        "scalapack2d", a, nranks, grid, nb, False, timeout, machine,
+        faults,
     )
 
 

@@ -35,11 +35,13 @@ def _factor_slate2d(
     nb: int = 16,
     timeout: float = 600.0,
     machine=None,
+    faults=None,
 ) -> FactorResult:
     """SLATE-like LU: 2D block layout, default block size 16, no user
     tuning required."""
     return _run_2d(
-        "slate2d", a, nranks, grid, nb, True, timeout, machine
+        "slate2d", a, nranks, grid, nb, True, timeout, machine,
+        faults,
     )
 
 

@@ -82,8 +82,33 @@ def _cmd_factor(args: argparse.Namespace) -> int:
         except (KeyError, ValueError, OSError) as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             raise SystemExit(2)
+    if args.timeout is not None:
+        kwargs["timeout_s"] = args.timeout
+    if args.faults is not None:
+        try:
+            from repro.faults import resolve_faults
+
+            kwargs["faults"] = resolve_faults(args.faults)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            raise SystemExit(2)
+        if args.fault_seed is not None:
+            kwargs["fault_seed"] = args.fault_seed
+    elif args.fault_seed is not None:
+        print("error: --fault-seed requires --faults", file=sys.stderr)
+        raise SystemExit(2)
     res = factor(info.name, a, args.p, **kwargs)
     print(res.describe())
+    faults_report = res.volume.faults
+    if faults_report is not None:
+        by_action = ", ".join(
+            f"{action}: {count}"
+            for action, count in sorted(
+                faults_report["by_action"].items()
+            )
+        ) or "none fired"
+        print(f"injected faults: {faults_report['n_injected']} "
+              f"({by_action})")
     print(f"per-rank volume: {res.volume.per_rank_bytes:,.0f} B")
     if "orthogonality" in res.meta:
         print(f"orthogonality ||Q^T Q - I||: "
@@ -446,6 +471,13 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--machine", default=None, metavar="PRESET|PATH",
                    help="machine preset name or Machine JSON path; "
                         "turns on the discrete-event clock")
+    f.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="arm deterministic fault injection from a "
+                        "FaultPlan JSON file")
+    f.add_argument("--fault-seed", type=int, default=None,
+                   help="override the plan's seed (replay variants)")
+    f.add_argument("--timeout", type=float, default=None,
+                   help="per-run watchdog window in seconds")
     f.add_argument("--list-machines", action="store_true",
                    help="list the machine presets and their "
                         "alpha/beta/gamma parameters")

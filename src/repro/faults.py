@@ -1,0 +1,543 @@
+"""Deterministic fault injection for the simulated runtime.
+
+ROADMAP item 1 (real-MPI execution) will expose the stack to slow
+links, lost messages, and dying ranks.  This module lets the simulated
+runtime *manufacture* those failures deterministically, so every
+recovery path — detection, retry, degradation — is pinned by tests
+instead of discovered in production.
+
+A :class:`FaultPlan` is a seed plus an ordered tuple of
+:class:`FaultRule` s.  Each rule matches messages at the send seam of
+:meth:`repro.smpi.runtime.Comm.send` (by sender, destination, tag,
+ledger phase path, or schedule step) and fires one action:
+
+==========  ==========================================================
+delay       deliver normally, but charge ``delay_s`` extra seconds to
+            the message's network transfer in the discrete-event clock
+            (the payload is untouched, so delay-only plans produce
+            bit-identical factors with strictly larger predicted wait)
+drop        the message never arrives (neither the byte ledger nor the
+            clock records it — accounting follows *delivered* traffic,
+            so the closed-system sent == recv invariant still holds)
+duplicate   a second, byte-identical copy is delivered after the first
+reorder     the message is held back and released behind the sender's
+            *next* message on the same (src, dst) channel
+bitflip     one deterministically-chosen bit of one numpy payload
+            buffer is inverted before delivery
+crash       the sending rank raises :class:`RankCrashed`, which
+            :func:`~repro.smpi.runtime.run_spmd` aggregates into
+            :class:`~repro.smpi.runtime.RankFailure`
+==========  ==========================================================
+
+**Determinism.**  The runtime's ranks are real threads, so any decision
+routed through a shared sequential RNG would depend on the OS
+schedule.  Instead, every probabilistic choice is a pure hash of
+``(plan seed, rule index, src, dst, tag, channel sequence number)``,
+where the channel sequence number counts the sender's messages to that
+destination — program order on the sending thread, independent of
+interleaving.  Match counters (``after`` / ``max_fires``) are likewise
+kept per ``(rule, src, dst)`` channel.  Replaying the same plan over
+the same schedule therefore fires the same faults on the same
+messages, byte for byte, and the fault log (canonically sorted on
+snapshot) compares equal across runs.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.smpi.runtime import SmpiError
+
+#: Recognised ``FaultRule.action`` values.
+ACTIONS = ("delay", "drop", "duplicate", "reorder", "bitflip", "crash")
+
+#: Tag stride used by the 2.5D schedule family to scope tags per step
+#: (``Schedule25D.tag(base, t) = base + STEP_TAG_STRIDE * t``).  Kept
+#: in sync with ``repro.algorithms.schedule25d.TAG_STRIDE`` by a test,
+#: not an import, so fault injection never pulls in the algorithm layer.
+STEP_TAG_STRIDE = 8
+
+
+class RankCrashed(SmpiError):
+    """A fault rule terminated the sending rank mid-run."""
+
+
+class FaultPlanError(ValueError):
+    """A fault plan or rule failed validation."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative match-and-fire rule.
+
+    Match fields (``None`` = wildcard):
+
+    ``rank``
+        Sending world rank (the rank that executes the action).
+    ``peer``
+        Destination world rank.
+    ``tag``
+        Exact message tag.
+    ``phase``
+        :mod:`fnmatch` pattern over the sender's ledger phase path
+        (e.g. ``"step/tournament*"``).
+    ``step``
+        Schedule step for tag-strided 2.5D schedules
+        (``tag // STEP_TAG_STRIDE``).
+
+    Firing controls:
+
+    ``probability``
+        Chance a matching message fires, decided by the plan's pure
+        hash stream (1.0 = always).
+    ``after``
+        Skip the first ``after`` matching messages *per (src, dst)
+        channel* before the rule becomes eligible.
+    ``max_fires``
+        Cap on fires *per (src, dst) channel* (``None`` = unlimited).
+    """
+
+    action: str
+    rank: int | None = None
+    peer: int | None = None
+    tag: int | None = None
+    phase: str | None = None
+    step: int | None = None
+    probability: float = 1.0
+    delay_s: float = 0.0
+    after: int = 0
+    max_fires: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise FaultPlanError(
+                f"unknown action {self.action!r}; expected one of "
+                f"{', '.join(ACTIONS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"probability {self.probability} outside [0, 1]"
+            )
+        if self.delay_s < 0:
+            raise FaultPlanError(f"negative delay_s: {self.delay_s}")
+        if self.action == "delay" and self.delay_s == 0:
+            raise FaultPlanError("delay action requires delay_s > 0")
+        if self.after < 0:
+            raise FaultPlanError(f"negative after: {self.after}")
+        if self.max_fires is not None and self.max_fires <= 0:
+            raise FaultPlanError(
+                f"max_fires must be positive, got {self.max_fires}"
+            )
+
+    def matches(
+        self, src: int, dst: int, tag: int, phase: str | None
+    ) -> bool:
+        if self.rank is not None and src != self.rank:
+            return False
+        if self.peer is not None and dst != self.peer:
+            return False
+        if self.tag is not None and tag != self.tag:
+            return False
+        if self.step is not None and tag // STEP_TAG_STRIDE != self.step:
+            return False
+        if self.phase is not None:
+            if phase is None or not fnmatch.fnmatchcase(phase, self.phase):
+                return False
+        return True
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {"action": self.action}
+        for name in (
+            "rank", "peer", "tag", "phase", "step", "max_fires"
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.probability != 1.0:
+            out["probability"] = self.probability
+        if self.delay_s:
+            out["delay_s"] = self.delay_s
+        if self.after:
+            out["after"] = self.after
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"rule must be an object, got {data!r}")
+        unknown = set(data) - {
+            "action", "rank", "peer", "tag", "phase", "step",
+            "probability", "delay_s", "after", "max_fires",
+        }
+        if unknown:
+            raise FaultPlanError(
+                f"unknown rule field(s): {', '.join(sorted(unknown))}"
+            )
+        if "action" not in data:
+            raise FaultPlanError("rule is missing the 'action' field")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, replayable set of fault rules."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise FaultPlanError(
+                    f"rules must be FaultRule instances, got {rule!r}"
+                )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=int(seed))
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "name": self.name,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"plan must be an object, got {data!r}")
+        unknown = set(data) - {"seed", "name", "rules"}
+        if unknown:
+            raise FaultPlanError(
+                f"unknown plan field(s): {', '.join(sorted(unknown))}"
+            )
+        rules = data.get("rules", [])
+        if not isinstance(rules, (list, tuple)):
+            raise FaultPlanError("plan 'rules' must be a list")
+        return cls(
+            rules=tuple(FaultRule.from_dict(r) for r in rules),
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "")),
+        )
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def resolve_faults(obj: Any) -> FaultPlan | None:
+    """Coerce ``None`` / plan / dict / JSON path into a FaultPlan."""
+    if obj is None:
+        return None
+    if isinstance(obj, FaultPlan):
+        return obj
+    if isinstance(obj, dict):
+        return FaultPlan.from_dict(obj)
+    if isinstance(obj, (str, Path)):
+        return FaultPlan.from_json(obj)
+    raise FaultPlanError(
+        f"cannot interpret {type(obj).__name__} as a fault plan"
+    )
+
+
+def canned_plan(
+    fault_class: str,
+    seed: int = 0,
+    *,
+    delay_s: float = 5e-4,
+    probability: float | None = None,
+) -> FaultPlan:
+    """A one-rule plan exercising one fault class — the vocabulary of
+    the ``chaos-*`` sweeps and ``BENCH_chaos.json``."""
+    defaults = {
+        "delay": 0.25,
+        "drop": 0.02,
+        "duplicate": 0.05,
+        "reorder": 0.05,
+        "bitflip": 0.02,
+        "crash": 1.0,
+    }
+    if fault_class not in defaults:
+        raise FaultPlanError(
+            f"unknown fault class {fault_class!r}; expected one of "
+            f"{', '.join(defaults)}"
+        )
+    prob = defaults[fault_class] if probability is None else probability
+    if fault_class == "crash":
+        # Kill rank 1 on its fourth message to any single peer.
+        rule = FaultRule(
+            action="crash", rank=1, after=3, max_fires=1,
+            probability=prob,
+        )
+    else:
+        rule = FaultRule(
+            action=fault_class,
+            probability=prob,
+            delay_s=delay_s if fault_class == "delay" else 0.0,
+        )
+    return FaultPlan(
+        rules=(rule,), seed=seed, name=f"canned-{fault_class}"
+    )
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One message instance leaving the injection seam."""
+
+    payload: Any
+    nbytes: int
+    context: int
+    source: int          # sender's group rank in `context`
+    tag: int
+    delay_s: float = 0.0
+    duplicate: bool = False
+
+
+class FaultInjector:
+    """Per-run instantiation of a :class:`FaultPlan`.
+
+    Thread-safe; all decisions are pure hashes (see module docstring),
+    so the injector's observable behaviour — which messages fire which
+    rules — is independent of thread interleaving.
+    """
+
+    def __init__(self, plan: FaultPlan, nranks: int) -> None:
+        self.plan = plan
+        self.nranks = nranks
+        self._lock = threading.Lock()
+        #: (src, dst) -> messages sent on that world-rank channel
+        self._channel_seq: dict[tuple[int, int], int] = {}
+        #: (rule idx, src, dst) -> matches seen / fires so far
+        self._matches: dict[tuple[int, int, int], int] = {}
+        self._fires: dict[tuple[int, int, int], int] = {}
+        #: (src, dst) -> deliveries held back by reorder rules
+        self._held: dict[tuple[int, int], list[Delivery]] = {}
+        self._events: list[dict] = []
+        self._lost = 0
+
+    # ------------------------------------------------------------------
+    # deterministic decision stream
+    # ------------------------------------------------------------------
+    def _unit(
+        self, rule_idx: int, src: int, dst: int, tag: int, seq: int,
+        salt: str = "",
+    ) -> float:
+        """A uniform [0, 1) draw that depends only on the plan seed and
+        the message's deterministic coordinates."""
+        key = (
+            f"{self.plan.seed}:{rule_idx}:{src}:{dst}:{tag}:{seq}:{salt}"
+        )
+        digest = hashlib.blake2b(
+            key.encode("ascii"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / 2.0**64
+
+    def _log(
+        self, rule_idx: int, action: str, src: int, dst: int, tag: int,
+        seq: int, phase: str | None, detail: str = "",
+    ) -> None:
+        self._events.append(
+            {
+                "rule": rule_idx,
+                "action": action,
+                "src": src,
+                "dst": dst,
+                "tag": tag,
+                "seq": seq,
+                "phase": phase,
+                "detail": detail,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # the send seam
+    # ------------------------------------------------------------------
+    def process_send(
+        self,
+        src: int,
+        dst: int,
+        context: int,
+        source: int,
+        tag: int,
+        phase: str | None,
+        payload: Any,
+        nbytes: int,
+    ) -> list[Delivery]:
+        """Apply the plan to one send; returns the deliveries to make.
+
+        ``src`` / ``dst`` are world ranks (the channel identity);
+        ``source`` is the sender's group rank inside ``context`` (what
+        the receiver's matching sees).  Raises :class:`RankCrashed`
+        when a crash rule fires.
+        """
+        with self._lock:
+            chan = (src, dst)
+            seq = self._channel_seq.get(chan, 0)
+            self._channel_seq[chan] = seq + 1
+
+            deliveries = [
+                Delivery(payload, nbytes, context, source, tag)
+            ]
+            held_back = False
+            for idx, rule in enumerate(self.plan.rules):
+                if not rule.matches(src, dst, tag, phase):
+                    continue
+                mkey = (idx, src, dst)
+                seen = self._matches.get(mkey, 0)
+                self._matches[mkey] = seen + 1
+                if seen < rule.after:
+                    continue
+                if (
+                    rule.max_fires is not None
+                    and self._fires.get(mkey, 0) >= rule.max_fires
+                ):
+                    continue
+                if (
+                    rule.probability < 1.0
+                    and self._unit(idx, src, dst, tag, seq)
+                    >= rule.probability
+                ):
+                    continue
+                self._fires[mkey] = self._fires.get(mkey, 0) + 1
+
+                if rule.action == "crash":
+                    self._log(
+                        idx, "crash", src, dst, tag, seq, phase,
+                        f"rank {src} crashed before message {seq} "
+                        f"to rank {dst}",
+                    )
+                    raise RankCrashed(
+                        f"rank {src} crashed by fault rule {idx} "
+                        f"(seed {self.plan.seed}) before sending "
+                        f"message {seq} to rank {dst}"
+                    )
+                if rule.action == "drop":
+                    deliveries = []
+                    self._log(idx, "drop", src, dst, tag, seq, phase)
+                elif rule.action == "delay":
+                    deliveries = [
+                        replace(d, delay_s=d.delay_s + rule.delay_s)
+                        for d in deliveries
+                    ]
+                    self._log(
+                        idx, "delay", src, dst, tag, seq, phase,
+                        f"+{rule.delay_s:g}s",
+                    )
+                elif rule.action == "duplicate":
+                    deliveries = deliveries + [
+                        replace(d, duplicate=True) for d in deliveries
+                    ]
+                    self._log(
+                        idx, "duplicate", src, dst, tag, seq, phase
+                    )
+                elif rule.action == "bitflip":
+                    deliveries = [
+                        self._flip_bit(d, idx, src, dst, tag, seq)
+                        for d in deliveries
+                    ]
+                elif rule.action == "reorder":
+                    held_back = True
+                    self._log(idx, "reorder", src, dst, tag, seq, phase)
+
+            if held_back and deliveries:
+                self._held.setdefault(chan, []).extend(deliveries)
+                return []
+            # Flush anything a reorder rule held on this channel: it is
+            # delivered *behind* the current message, i.e. out of order.
+            held = self._held.pop(chan, None)
+            if held:
+                deliveries = deliveries + held
+            return deliveries
+
+    def _flip_bit(
+        self, d: Delivery, rule_idx: int, src: int, dst: int, tag: int,
+        seq: int,
+    ) -> Delivery:
+        """Invert one deterministic bit of one ndarray in the payload."""
+        arrays: list[np.ndarray] = []
+
+        def collect(obj: Any) -> None:
+            if isinstance(obj, np.ndarray) and obj.size > 0:
+                arrays.append(obj)
+            elif isinstance(obj, (tuple, list)):
+                for item in obj:
+                    collect(item)
+            elif isinstance(obj, dict):
+                for value in obj.values():
+                    collect(value)
+
+        collect(d.payload)
+        if not arrays:
+            self._log(
+                rule_idx, "bitflip", src, dst, tag, seq, None,
+                "no ndarray in payload; flip skipped",
+            )
+            return d
+        a = arrays[
+            int(self._unit(rule_idx, src, dst, tag, seq, "arr")
+                * len(arrays))
+        ]
+        nbits = a.nbytes * 8
+        bit = int(
+            self._unit(rule_idx, src, dst, tag, seq, "bit") * nbits
+        )
+        flat = a.reshape(-1).view(np.uint8)
+        flat[bit // 8] ^= np.uint8(1 << (bit % 8))
+        self._log(
+            rule_idx, "bitflip", src, dst, tag, seq, None,
+            f"bit {bit} of {a.nbytes}-byte buffer",
+        )
+        return d
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Account messages still held by reorder rules at run end
+        (the receivers are gone; they count as lost)."""
+        with self._lock:
+            for (src, dst), held in sorted(self._held.items()):
+                for d in held:
+                    self._log(
+                        -1, "reorder-lost", src, dst, d.tag, -1, None,
+                        "held message never released",
+                    )
+                    self._lost += 1
+            self._held.clear()
+
+    def snapshot(self) -> list[dict]:
+        """Canonically-sorted fault log; identical across replays of
+        the same plan over the same schedule."""
+        with self._lock:
+            return sorted(
+                (dict(ev) for ev in self._events),
+                key=lambda ev: (
+                    ev["src"], ev["dst"], ev["seq"], ev["rule"],
+                    ev["action"],
+                ),
+            )
+
+    def report(self) -> dict:
+        """JSON-clean summary attached to the run's VolumeReport."""
+        events = self.snapshot()
+        by_action: dict[str, int] = {}
+        for ev in events:
+            by_action[ev["action"]] = by_action.get(ev["action"], 0) + 1
+        return {
+            "plan": self.plan.to_dict(),
+            "n_injected": len(events),
+            "by_action": by_action,
+            "lost_in_reorder": self._lost,
+            "events": events,
+        }

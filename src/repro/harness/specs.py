@@ -3,8 +3,8 @@
 Every canned experiment of the reproduction — the Table 2 cells, the
 Figure 6a/6b scaling sweeps, the Figure 7 reduction grid, the lower
 bound gap study and the blocking-parameter ablation — is expressed
-here as a :class:`~repro.harness.sweep.SweepSpec` over one of five
-tasks:
+here as a :class:`~repro.harness.sweep.SweepSpec` over one of the
+registered tasks:
 
 =================  =======================================================
 task               one point computes
@@ -16,6 +16,8 @@ task               one point computes
 ``lower_bound_gap``  measured COnfLUX volume vs the Section 6 bound
 ``block_size``     a COnfLUX run at one blocking parameter v (ablation)
 ``qr_lower_bound_gap``  measured 2.5D CAQR volume vs the QR I/O bound
+``chaos``          one factorization under a canned fault-injection
+                   plan, its outcome classified against ground truth
 =================  =======================================================
 
 The QR family (``qr2d``, ``caqr25d``) rides the same ``measured`` task;
@@ -177,6 +179,107 @@ def block_size_task(n: int, g: int, c: int, v: int, seed: int = 3) -> dict:
         "bcast_a00": res.volume.phase_bytes["bcast_a00"],
         "tournament": res.volume.phase_bytes["tournament"],
     }
+
+
+#: Outcome labels of one ``chaos`` point.
+CHAOS_DETECTED = "detected"
+CHAOS_RECOVERED = "recovered"
+CHAOS_SILENT = "silent-corruption"
+
+#: Fault classes the ``chaos-*`` sweeps span (mirrors
+#: ``repro.faults.ACTIONS``; a test keeps the two aligned without an
+#: import at module scope).
+CHAOS_FAULT_CLASSES = (
+    "delay", "drop", "duplicate", "reorder", "bitflip", "crash",
+)
+
+
+@task("chaos")
+def chaos_task(
+    impl: str,
+    n: int,
+    p: int,
+    fault_class: str,
+    fault_seed: int = 0,
+    seed: int = 0,
+    v: int | None = None,
+    timeout_s: float = 2.0,
+    residual_tol: float = 1e-8,
+) -> dict:
+    """One fault-injection run: factor under a canned one-rule plan
+    and classify the outcome against ground truth.
+
+    Outcomes:
+
+    * ``detected`` — the run raised (rank crash surfaced as
+      :class:`RankFailure`, a dropped message surfaced as
+      :class:`DeadlockError`, corruption caught by the assembler's
+      own verification, ...);
+    * ``recovered`` — the run completed and the true residual is
+      within ``residual_tol`` (delays and duplicates are absorbed);
+    * ``silent-corruption`` — the run completed but the factors are
+      wrong (a bit flip slipped past structural checks).
+
+    ``fault_log_digest`` hashes the canonical fault log, so comparing
+    two rows compares the *entire* injection history, not just counts.
+    """
+    import hashlib
+
+    import numpy as np
+
+    from repro.algorithms import factor
+    from repro.algorithms.base import FactorVerificationError
+    from repro.faults import canned_plan
+    from repro.harness.cache import canonical_json
+    from repro.smpi import SmpiError
+
+    plan = canned_plan(fault_class, seed=fault_seed)
+    a = np.random.default_rng(seed).standard_normal((n, n))
+    row = {
+        "impl": impl,
+        "n": n,
+        "p": p,
+        "fault_class": fault_class,
+        "fault_seed": fault_seed,
+        "outcome": "",
+        "detail": "",
+        "residual": None,
+        "n_injected": None,
+        "by_action": None,
+        "fault_log_digest": None,
+    }
+    try:
+        res = factor(
+            impl, a, p, v=v, faults=plan, timeout_s=timeout_s
+        )
+    except (SmpiError, FactorVerificationError) as exc:
+        # The injector dies with the run, so the log is unreachable
+        # here; the exception's first line stands in for it.  (Only
+        # the first line: the blocked-rank census below it is a
+        # diagnostic snapshot taken while watchdogs race, not part of
+        # the deterministic outcome.)
+        row["outcome"] = CHAOS_DETECTED
+        row["detail"] = f"{type(exc).__name__}: {exc}".splitlines()[0]
+        return row
+    faults_report = res.volume.faults or {
+        "n_injected": 0, "by_action": {}, "events": [],
+    }
+    row["residual"] = float(res.residual)
+    row["n_injected"] = faults_report["n_injected"]
+    row["by_action"] = faults_report["by_action"]
+    row["fault_log_digest"] = hashlib.blake2b(
+        canonical_json(faults_report["events"]).encode(),
+        digest_size=16,
+    ).hexdigest()
+    if res.residual > residual_tol:
+        row["outcome"] = CHAOS_SILENT
+        row["detail"] = (
+            f"residual {res.residual:.2e} > {residual_tol:.1e} "
+            "but no invariant tripped"
+        )
+    else:
+        row["outcome"] = CHAOS_RECOVERED
+    return row
 
 
 # --------------------------------------------------------------------------
@@ -502,6 +605,64 @@ def qr_strong_time_spec(
     )
 
 
+def chaos_lu_spec(
+    n: int = 64,
+    p: int = 8,
+    fault_classes: Sequence[str] = CHAOS_FAULT_CLASSES,
+    fault_seeds: Sequence[int] = (0, 1, 2),
+    seed: int = 0,
+    timeout_s: float = 2.0,
+) -> SweepSpec:
+    return SweepSpec(
+        name="chaos-lu",
+        task="chaos",
+        axes={
+            "fault_class": list(fault_classes),
+            "fault_seed": list(fault_seeds),
+        },
+        fixed={
+            "impl": "conflux",
+            "n": n,
+            "p": p,
+            "seed": seed,
+            "timeout_s": timeout_s,
+        },
+        description=(
+            "Chaos grid: COnfLUX under each canned fault class x "
+            "seed; outcomes classified against ground truth"
+        ),
+    )
+
+
+def chaos_qr_spec(
+    n: int = 48,
+    p: int = 8,
+    fault_classes: Sequence[str] = CHAOS_FAULT_CLASSES,
+    fault_seeds: Sequence[int] = (0, 1, 2),
+    seed: int = 0,
+    timeout_s: float = 2.0,
+) -> SweepSpec:
+    return SweepSpec(
+        name="chaos-qr",
+        task="chaos",
+        axes={
+            "fault_class": list(fault_classes),
+            "fault_seed": list(fault_seeds),
+        },
+        fixed={
+            "impl": "caqr25d",
+            "n": n,
+            "p": p,
+            "seed": seed,
+            "timeout_s": timeout_s,
+        },
+        description=(
+            "Chaos grid: 2.5D CAQR under each canned fault class x "
+            "seed; outcomes classified against ground truth"
+        ),
+    )
+
+
 def table2_mpi_spec() -> SweepSpec:
     """The Table 2 grid addressed to the real-MPI backend.
 
@@ -538,6 +699,8 @@ SPECS = {
     "qr-strong-time": qr_strong_time_spec,
     "qr-weak": qr_weak_scaling_spec,
     "qr-lower-bound-gap": qr_lower_bound_gap_spec,
+    "chaos-lu": chaos_lu_spec,
+    "chaos-qr": chaos_qr_spec,
 }
 
 

@@ -199,7 +199,11 @@ STATUS_SKIPPED = "skipped"
 
 @dataclass(frozen=True)
 class PointResult:
-    """Outcome of one point: payload or captured failure, provenance."""
+    """Outcome of one point: payload or captured failure, provenance.
+
+    ``attempts`` counts executions of the point this run (> 1 when a
+    transient failure was retried; see ``run_sweep(retries=...)``).
+    """
 
     point: SweepPoint
     status: str
@@ -207,6 +211,7 @@ class PointResult:
     error: str | None = None
     from_cache: bool = False
     elapsed_s: float = 0.0
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -314,6 +319,65 @@ def _execute_point(point: SweepPoint) -> PointResult:
     )
 
 
+def _execute_point_with_retry(point: SweepPoint, retries: int) -> PointResult:
+    """Run one point, re-executing up to ``retries`` extra times when
+    the failure is transient (lost-message deadlocks, rank failures —
+    the classification shared with the service's retry policy).  Runs
+    in workers, so it must stay module-level picklable."""
+    from repro.service.resilience import is_transient_error_string
+
+    attempt = 0
+    while True:
+        res = _execute_point(point)
+        if (
+            res.status == STATUS_ERROR
+            and attempt < retries
+            and is_transient_error_string(res.error)
+        ):
+            attempt += 1
+            continue
+        if attempt:
+            import dataclasses
+
+            res = dataclasses.replace(res, attempts=attempt + 1)
+        return res
+
+
+def _execute_point_bounded(
+    point: SweepPoint, timeout_s: float | None, retries: int
+) -> PointResult:
+    """Inline-path execution with an optional wall-clock bound.
+
+    The point runs on a daemon thread; on timeout the result is a
+    synthetic ``TimeoutError`` failure and the thread is abandoned (it
+    cannot be preempted mid-factorization, but the smpi watchdog bounds
+    how long it lingers)."""
+    if timeout_s is None:
+        return _execute_point_with_retry(point, retries)
+    box: dict[str, PointResult] = {}
+
+    def runner() -> None:
+        box["res"] = _execute_point_with_retry(point, retries)
+
+    thread = threading.Thread(
+        target=runner, daemon=True, name=f"sweep-{point.task}"
+    )
+    thread.start()
+    thread.join(timeout_s)
+    res = box.get("res")
+    if res is None:
+        return PointResult(
+            point=point,
+            status=STATUS_ERROR,
+            error=(
+                f"TimeoutError: point exceeded {timeout_s:g}s wall "
+                f"clock (abandoned)"
+            ),
+            elapsed_s=timeout_s,
+        )
+    return res
+
+
 def _live_helper_threads() -> list[threading.Thread]:
     """Non-main threads currently alive in this process."""
     main = threading.main_thread()
@@ -386,6 +450,8 @@ def run_sweep(
     max_points: int | None = None,
     force: bool = False,
     progress: Callable[[PointResult], None] | None = None,
+    point_timeout_s: float | None = None,
+    retries: int = 0,
 ) -> SweepResult:
     """Execute a spec's grid, returning per-point results in order.
 
@@ -398,7 +464,24 @@ def run_sweep(
     the failed/skipped/missing ones.  ``force`` bypasses cache reads
     (results are still written).  ``max_points`` truncates the grid
     after enumeration — the CI smoke path.
+
+    ``point_timeout_s`` bounds each point's wall clock so one hung
+    point cannot stall the grid: expired points are recorded as
+    ``TimeoutError`` failures and their execution abandoned (inline: a
+    daemon thread; pool: the future's result is discarded — a point
+    cancelled before it started is resubmitted with a fresh window,
+    since it only queued behind a hung one).  ``retries`` re-executes a
+    point up to that many extra times when it fails *transiently*
+    (deadlocks, rank failures); deterministic failures are never
+    retried, and timed-out points are not either — the cache-resume
+    path above is the retry story across sweep invocations.
     """
+    if point_timeout_s is not None and point_timeout_s <= 0:
+        raise ValueError(
+            f"point_timeout_s must be > 0, got {point_timeout_s}"
+        )
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     start = time.perf_counter()
     points = spec.points()
     if max_points is not None:
@@ -465,26 +548,84 @@ def run_sweep(
             pending.append((idx, point))
 
     if workers > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=min(workers, len(pending)),
             mp_context=_pool_context(),
             initializer=_worker_init,
             initargs=(_task_snapshot(),),
-        ) as pool:
+        )
+        abandoned = False
+        try:
             futures = {
-                pool.submit(_execute_point, point): idx
+                pool.submit(_execute_point_with_retry, point, retries):
+                    (idx, point)
                 for idx, point in pending
+            }
+            deadlines = {
+                fut: (
+                    time.monotonic() + point_timeout_s
+                    if point_timeout_s else None
+                )
+                for fut in futures
             }
             not_done = set(futures)
             while not_done:
+                wait_s = None
+                if point_timeout_s is not None:
+                    wait_s = max(
+                        0.0,
+                        min(deadlines[f] for f in not_done)
+                        - time.monotonic(),
+                    )
                 done, not_done = wait(
-                    not_done, return_when=FIRST_COMPLETED
+                    not_done, timeout=wait_s,
+                    return_when=FIRST_COMPLETED,
                 )
                 for fut in done:
-                    finish(futures[fut], fut.result())
+                    idx, _ = futures[fut]
+                    finish(idx, fut.result())
+                if point_timeout_s is None:
+                    continue
+                now = time.monotonic()
+                for fut in [
+                    f for f in not_done if deadlines[f] <= now
+                ]:
+                    not_done.discard(fut)
+                    idx, point = futures[fut]
+                    if fut.cancel():
+                        # Never started — it was queued behind a hung
+                        # point; give it a fresh window.
+                        refut = pool.submit(
+                            _execute_point_with_retry, point, retries
+                        )
+                        futures[refut] = (idx, point)
+                        deadlines[refut] = now + point_timeout_s
+                        not_done.add(refut)
+                        continue
+                    abandoned = True
+                    finish(
+                        idx,
+                        PointResult(
+                            point=point,
+                            status=STATUS_ERROR,
+                            error=(
+                                f"TimeoutError: point exceeded "
+                                f"{point_timeout_s:g}s wall clock "
+                                f"(worker abandoned)"
+                            ),
+                            elapsed_s=point_timeout_s,
+                        ),
+                    )
+        finally:
+            # A hung worker cannot be joined without stalling the
+            # sweep; leave it to die with the pool's processes.
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
     else:
         for idx, point in pending:
-            finish(idx, _execute_point(point))
+            finish(
+                idx,
+                _execute_point_bounded(point, point_timeout_s, retries),
+            )
 
     return SweepResult(
         spec_name=spec.name,

@@ -24,6 +24,11 @@ from repro.service.jobs import (
     ServiceResponse,
 )
 from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    is_transient,
+)
 from repro.service.server import FactorService, serve_tcp
 from repro.service.workload import (
     LoadReport,
@@ -35,11 +40,13 @@ from repro.service.workload import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "DISPATCH_POLICIES",
     "FactorRequest",
     "FactorService",
     "LoadReport",
     "RequestSampler",
+    "RetryPolicy",
     "SERVICE_TASK",
     "STATUS_ERROR",
     "STATUS_OK",
@@ -49,6 +56,7 @@ __all__ = [
     "ServiceMetrics",
     "ServiceResponse",
     "WorkloadSpec",
+    "is_transient",
     "make_policy",
     "percentile",
     "run_workload",

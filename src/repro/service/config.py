@@ -42,6 +42,18 @@ class ServiceConfig:
         The ``batch`` policy's knobs: how long to hold a group open
         for stragglers, the launch size cap, and the largest N still
         considered "small" enough to batch.
+    max_retries / retry_backoff_s / retry_jitter / retry_max_backoff_s:
+        Worker-side retry of *transient* failures (deadlocks, rank
+        failures — see :func:`repro.service.resilience.is_transient`):
+        up to ``max_retries`` extra attempts with exponential backoff
+        and deterministic jitter.  ``max_retries=0`` (default)
+        preserves fail-fast behaviour.
+    breaker_threshold / breaker_cooldown_s:
+        Per-``shape_key`` circuit breaker: after ``breaker_threshold``
+        consecutive final failures of a shape, its requests are shed
+        to explicit rejections for ``breaker_cooldown_s`` before a
+        half-open trial.  ``breaker_threshold=0`` (default) disables
+        the breaker.
     """
 
     workers: int = 2
@@ -52,6 +64,12 @@ class ServiceConfig:
     batch_window_s: float = 0.01
     batch_max_size: int = 8
     batch_n_max: int = 128
+    max_retries: int = 0
+    retry_backoff_s: float = 0.02
+    retry_jitter: float = 0.1
+    retry_max_backoff_s: float = 1.0
+    breaker_threshold: int = 0
+    breaker_cooldown_s: float = 1.0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -88,6 +106,35 @@ class ServiceConfig:
             raise ValueError(
                 f"batch_max_size must be >= 1, got {self.batch_max_size}"
             )
+        # RetryPolicy / CircuitBreaker validate their own parameter
+        # ranges; build them here so a bad config fails at construction.
+        from repro.service.resilience import CircuitBreaker, RetryPolicy
+
+        RetryPolicy(
+            max_retries=self.max_retries,
+            backoff_s=self.retry_backoff_s,
+            jitter=self.retry_jitter,
+            max_backoff_s=self.retry_max_backoff_s,
+        )
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got "
+                f"{self.breaker_threshold}"
+            )
+        if self.breaker_threshold:
+            CircuitBreaker(
+                self.breaker_threshold, self.breaker_cooldown_s
+            )
+
+    def retry_policy(self):
+        from repro.service.resilience import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            backoff_s=self.retry_backoff_s,
+            jitter=self.retry_jitter,
+            max_backoff_s=self.retry_max_backoff_s,
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -99,4 +146,10 @@ class ServiceConfig:
             "batch_window_s": self.batch_window_s,
             "batch_max_size": self.batch_max_size,
             "batch_n_max": self.batch_n_max,
+            "max_retries": self.max_retries,
+            "retry_backoff_s": self.retry_backoff_s,
+            "retry_jitter": self.retry_jitter,
+            "retry_max_backoff_s": self.retry_max_backoff_s,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown_s": self.breaker_cooldown_s,
         }

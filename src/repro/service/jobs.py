@@ -28,7 +28,9 @@ STATUS_TIMEOUT = "timeout"
 
 #: Fields a request document may carry (the TCP front-end validates
 #: incoming JSON against this set).
-REQUEST_FIELDS = ("impl", "n", "p", "seed", "v", "nb", "machine")
+REQUEST_FIELDS = (
+    "impl", "n", "p", "seed", "v", "nb", "machine", "deadline_s",
+)
 
 
 @dataclass(frozen=True)
@@ -38,6 +40,11 @@ class FactorRequest:
     The matrix itself is identified by ``(n, seed)`` — the worker
     regenerates it deterministically, exactly as the ``measured`` sweep
     task does, so "repeat matrix" is a pure content-address equality.
+
+    ``deadline_s`` caps how long *this* caller waits for the response
+    (the effective wait is ``min(deadline_s, request_timeout_s)``).
+    It is delivery metadata, not problem identity, so it is excluded
+    from ``params()`` and therefore from the cache key.
     """
 
     impl: str = "conflux"
@@ -47,6 +54,13 @@ class FactorRequest:
     v: int | None = None
     nb: int | None = None
     machine: str | None = None
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
 
     def params(self) -> dict:
         """The ``measured``-task parameter dict (optional fields are

@@ -49,6 +49,7 @@ from repro.service.jobs import (
     ServiceResponse,
 )
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import CircuitBreaker, is_transient
 from repro.service.worker import run_factor_batch, run_factor_job
 
 #: Fallback estimate of one job's service time before any completes.
@@ -83,7 +84,22 @@ class FactorService:
         self.worker_executions = 0
         self.worker_launches = 0
         self.cache_write_failures = 0
+        self.worker_retries = 0
+        self.breaker_rejections = 0
         self._ema_service_s = _INITIAL_SERVICE_ESTIMATE_S
+        #: shape_key -> per-job service-time EMA; the global EMA above
+        #: is only the cold-start fallback, so ``retry_after_s`` hints
+        #: stay honest under mixed problem sizes.
+        self._ema_by_shape: dict[tuple, float] = {}
+        self._retry_policy = self.config.retry_policy()
+        self._breaker = (
+            CircuitBreaker(
+                self.config.breaker_threshold,
+                self.config.breaker_cooldown_s,
+            )
+            if self.config.breaker_threshold
+            else None
+        )
         self._inflight: dict[str, asyncio.Future] = {}
         self._workers: list[asyncio.Task] = []
         self._policy = None
@@ -171,7 +187,28 @@ class FactorService:
                 request, pending, t0, coalesced=True
             )
 
-        # 3. admission control: bounded queue, explicit rejection.
+        # 3. circuit breaker: a shape that keeps failing sheds load to
+        #    explicit rejections instead of burning workers on it.
+        if self._breaker is not None:
+            allowed, cooldown = self._breaker.allow(request.shape_key())
+            if not allowed:
+                self.breaker_rejections += 1
+                response = ServiceResponse(
+                    request=request,
+                    status=STATUS_REJECTED,
+                    error=(
+                        f"circuit open for shape "
+                        f"{request.shape_key()!r} "
+                        f"({self.config.breaker_threshold} consecutive "
+                        f"failures)"
+                    ),
+                    latency_s=time.perf_counter() - t0,
+                    retry_after_s=max(0.01, cooldown),
+                )
+                self.metrics.record(response)
+                return response
+
+        # 4. admission control: bounded queue, explicit rejection.
         depth = self._policy.depth()
         if depth >= self.config.queue_depth:
             response = ServiceResponse(
@@ -182,12 +219,14 @@ class FactorService:
                     f"{self.config.queue_depth})"
                 ),
                 latency_s=time.perf_counter() - t0,
-                retry_after_s=self.retry_after_s(depth),
+                retry_after_s=self.retry_after_s(
+                    depth, shape=request.shape_key()
+                ),
             )
             self.metrics.record(response)
             return response
 
-        # 4. admit and dispatch.
+        # 5. admit and dispatch.
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         job = Job(
@@ -208,16 +247,19 @@ class FactorService:
         # Outcomes travel as (status, payload) tuples — set_result
         # only — so abandoned waiters never leave an "exception was
         # never retrieved" warning behind.
+        wait_s = self.config.request_timeout_s
+        if request.deadline_s is not None:
+            wait_s = min(wait_s, request.deadline_s)
         try:
             status, payload = await asyncio.wait_for(
-                asyncio.shield(future), self.config.request_timeout_s
+                asyncio.shield(future), wait_s
             )
         except asyncio.TimeoutError:
             response = ServiceResponse(
                 request=request,
                 status=STATUS_TIMEOUT,
                 error=(
-                    f"no result within {self.config.request_timeout_s}s "
+                    f"no result within {wait_s}s "
                     f"(the job keeps running and will populate the cache)"
                 ),
                 coalesced=coalesced,
@@ -245,12 +287,22 @@ class FactorService:
         self.metrics.record(response)
         return response
 
-    def retry_after_s(self, depth: int | None = None) -> float:
-        """Backoff hint: expected time to drain the current queue."""
+    def retry_after_s(
+        self, depth: int | None = None, shape: tuple | None = None
+    ) -> float:
+        """Backoff hint: expected time to drain the current queue.
+
+        Keyed per ``shape_key`` when one is given — a rejected 24x24
+        request is not told to wait as long as a 512x512 backlog would
+        suggest; the global EMA is only the cold-start fallback.
+        """
         if depth is None:
             depth = self._policy.depth() if self._policy else 0
+        estimate = self._ema_service_s
+        if shape is not None:
+            estimate = self._ema_by_shape.get(shape, estimate)
         per_worker = max(1, self.config.workers)
-        return max(0.01, (depth + 1) * self._ema_service_s / per_worker)
+        return max(0.01, (depth + 1) * estimate / per_worker)
 
     # ------------------------------------------------------------------
     # worker side
@@ -266,37 +318,74 @@ class FactorService:
             self.worker_executions += len(unit)
             self._policy.task_started(worker_id, len(unit))
             params = [job.request.params() for job in unit]
+            # Batch units group same-shape jobs, so one shape key
+            # stands for the whole unit.
+            shape = unit[0].request.shape_key()
             start = time.perf_counter()
+            attempt = 0
             try:
-                if len(unit) == 1:
-                    rows = [
-                        await loop.run_in_executor(
-                            self._executor, self._job_runner, params[0]
+                while True:
+                    try:
+                        if len(unit) == 1:
+                            rows = [
+                                await loop.run_in_executor(
+                                    self._executor,
+                                    self._job_runner,
+                                    params[0],
+                                )
+                            ]
+                        else:
+                            rows = await loop.run_in_executor(
+                                self._executor, self._batch_runner,
+                                params,
+                            )
+                        if len(rows) != len(unit):
+                            raise RuntimeError(
+                                f"batch runner returned {len(rows)} "
+                                f"rows for {len(unit)} jobs"
+                            )
+                    except Exception as exc:
+                        if (
+                            attempt < self._retry_policy.max_retries
+                            and is_transient(exc)
+                        ):
+                            attempt += 1
+                            self.worker_retries += 1
+                            await asyncio.sleep(
+                                self._retry_policy.delay_s(
+                                    attempt, key=repr(shape)
+                                )
+                            )
+                            continue
+                        message = f"{type(exc).__name__}: {exc}"
+                        if attempt:
+                            message += (
+                                f" (after {attempt} retr"
+                                f"{'y' if attempt == 1 else 'ies'})"
+                            )
+                        if self._breaker is not None:
+                            self._breaker.record_failure(shape)
+                        for job in unit:
+                            self._resolve(job, STATUS_ERROR, message)
+                        break
+                    else:
+                        elapsed = time.perf_counter() - start
+                        per_job = elapsed / len(unit)
+                        self._ema_service_s = (
+                            (1 - _EMA_ALPHA) * self._ema_service_s
+                            + _EMA_ALPHA * per_job
                         )
-                    ]
-                else:
-                    rows = await loop.run_in_executor(
-                        self._executor, self._batch_runner, params
-                    )
-                if len(rows) != len(unit):
-                    raise RuntimeError(
-                        f"batch runner returned {len(rows)} rows for "
-                        f"{len(unit)} jobs"
-                    )
-            except Exception as exc:
-                message = f"{type(exc).__name__}: {exc}"
-                for job in unit:
-                    self._resolve(job, STATUS_ERROR, message)
-            else:
-                elapsed = time.perf_counter() - start
-                per_job = elapsed / len(unit)
-                self._ema_service_s = (
-                    (1 - _EMA_ALPHA) * self._ema_service_s
-                    + _EMA_ALPHA * per_job
-                )
-                for job, row in zip(unit, rows):
-                    self._cache_put(job, row, per_job)
-                    self._resolve(job, STATUS_OK, row)
+                        prior = self._ema_by_shape.get(shape, per_job)
+                        self._ema_by_shape[shape] = (
+                            (1 - _EMA_ALPHA) * prior
+                            + _EMA_ALPHA * per_job
+                        )
+                        if self._breaker is not None:
+                            self._breaker.record_success(shape)
+                        for job, row in zip(unit, rows):
+                            self._cache_put(job, row, per_job)
+                            self._resolve(job, STATUS_OK, row)
+                        break
             finally:
                 self._policy.task_done(worker_id, len(unit))
 
@@ -327,6 +416,12 @@ class FactorService:
         doc["worker_executions"] = self.worker_executions
         doc["worker_launches"] = self.worker_launches
         doc["cache_write_failures"] = self.cache_write_failures
+        doc["worker_retries"] = self.worker_retries
+        doc["breaker_rejections"] = self.breaker_rejections
+        doc["breaker_open_shapes"] = (
+            [repr(k) for k in self._breaker.open_keys()]
+            if self._breaker is not None else []
+        )
         doc["queue_depth"] = self._policy.depth() if self._policy else 0
         return doc
 

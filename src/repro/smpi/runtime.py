@@ -26,6 +26,7 @@ from __future__ import annotations
 import copy
 import pickle
 import threading
+import time
 from collections.abc import Callable, Sequence
 from typing import Any
 
@@ -159,26 +160,43 @@ class _Mailbox:
         return None
 
     def take(
-        self, context: int, source: int, tag: int, timeout: float
+        self,
+        context: int,
+        source: int,
+        tag: int,
+        deadline: float | None,
+        timeout: float,
+        diag: Callable[[], str] | None = None,
     ) -> _Message:
+        """Blocking matched receive.
+
+        ``deadline`` is the *run-wide* watchdog instant (monotonic
+        clock), shared by every blocking wait of the run: by the time
+        the first one fires, everything that could make progress has,
+        so all stuck ranks fail together with a consistent census
+        instead of cascading one watchdog window per dependency level.
+        An already-deliverable message is still returned after the
+        deadline — only actual waiting is bounded.
+        """
         with self._cond:
-            msg = self._match(context, source, tag)
-            if msg is not None:
-                return msg
-            deadline = threading.TIMEOUT_MAX if timeout <= 0 else timeout
-            remaining = deadline
             while True:
-                if not self._cond.wait(timeout=min(remaining, 5.0)):
-                    remaining -= 5.0
-                    if remaining <= 0:
-                        raise DeadlockError(
-                            f"recv(source={source}, tag={tag}, "
-                            f"context={context}) timed out after "
-                            f"{timeout:.0f}s"
-                        )
                 msg = self._match(context, source, tag)
                 if msg is not None:
                     return msg
+                remaining = (
+                    threading.TIMEOUT_MAX if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining <= 0:
+                    message = (
+                        f"recv(source={source}, tag={tag}, "
+                        f"context={context}) timed out: run watchdog "
+                        f"({timeout:.0f}s) expired"
+                    )
+                    if diag is not None:
+                        message += "\n" + diag()
+                    raise DeadlockError(message)
+                self._cond.wait(timeout=min(remaining, 5.0))
 
 
 class _Rendezvous:
@@ -195,25 +213,37 @@ class _Rendezvous:
         rank: int,
         value: Any,
         expected: int,
+        deadline: float | None,
         timeout: float,
+        diag: Callable[[], str] | None = None,
     ) -> dict[int, Any]:
         """Deposit ``value`` under ``key`` and wait until ``expected``
-        participants arrived; return the full contribution map."""
+        participants arrived; return the full contribution map.
+
+        ``deadline`` is the run-wide watchdog instant, shared with
+        :meth:`_Mailbox.take` (see there for why it is absolute).
+        """
         with self._cond:
             slot = self._slots.setdefault(key, {"contrib": {}, "done": 0})
             slot["contrib"][rank] = value
             if len(slot["contrib"]) == expected:
                 self._cond.notify_all()
             else:
-                remaining = timeout
                 while len(slot["contrib"]) < expected:
-                    if not self._cond.wait(timeout=min(remaining, 5.0)):
-                        remaining -= 5.0
-                        if remaining <= 0:
-                            raise DeadlockError(
-                                f"rendezvous {key!r} stuck at "
-                                f"{len(slot['contrib'])}/{expected}"
-                            )
+                    remaining = (
+                        threading.TIMEOUT_MAX if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining <= 0:
+                        message = (
+                            f"rendezvous {key!r} stuck at "
+                            f"{len(slot['contrib'])}/{expected} after "
+                            f"the run watchdog ({timeout:.0f}s)"
+                        )
+                        if diag is not None:
+                            message += "\n" + diag()
+                        raise DeadlockError(message)
+                    self._cond.wait(timeout=min(remaining, 5.0))
             contrib = dict(slot["contrib"])
             slot["done"] += 1
             if slot["done"] == expected:
@@ -226,15 +256,29 @@ class _Context:
     """State shared by every rank of one SPMD run."""
 
     def __init__(
-        self, nranks: int, timeout: float, trace: Any = None
+        self,
+        nranks: int,
+        timeout: float,
+        trace: Any = None,
+        faults: Any = None,
     ) -> None:
         self.nranks = nranks
         self.timeout = timeout
+        #: Absolute run-wide watchdog instant (None = no watchdog).
+        #: One shared deadline means cascaded stalls surface together.
+        self.deadline = (
+            None if timeout <= 0 else time.monotonic() + timeout
+        )
         self.mailboxes = [_Mailbox() for _ in range(nranks)]
         self.ledger = VolumeLedger(nranks)
         self.rendezvous = _Rendezvous()
         #: repro.smpi.timing.EventTrace when the run predicts time
         self.trace = trace
+        #: repro.faults.FaultInjector for chaos runs (None = clean run)
+        self.faults = faults
+        #: world rank -> (source, tag, context) it is blocked awaiting;
+        #: each rank writes only its own entry (GIL-atomic dict ops)
+        self.waiting: dict[int, tuple[int, int, int]] = {}
         self._next_context = 1  # 0 is COMM_WORLD
         self._ctx_lock = threading.Lock()
 
@@ -244,6 +288,47 @@ class _Context:
             first = self._next_context
             self._next_context += count
             return first
+
+    def census(self) -> str:
+        """Blocked-rank diagnostic for :class:`DeadlockError`: what each
+        stuck rank is awaiting, and what is sitting undelivered in every
+        mailbox — usually enough to see *which* message went missing."""
+        lines = ["blocked ranks:"]
+        waiting = dict(self.waiting)
+        for rank in sorted(waiting):
+            source, tag, context = waiting[rank]
+            src = "ANY" if source == ANY_SOURCE else source
+            tg = "ANY" if tag == ANY_TAG else tag
+            lines.append(
+                f"  rank {rank}: awaiting (source={src}, tag={tg}, "
+                f"context={context})"
+            )
+        if len(lines) == 1:
+            lines.append("  (none recorded)")
+        lines.append("mailbox census:")
+        pending_any = False
+        for rank, mb in enumerate(self.mailboxes):
+            with mb._cond:
+                pending = sorted(
+                    (m.source, m.tag, m.context) for m in mb._pending
+                )
+            if pending:
+                pending_any = True
+                shown = ", ".join(
+                    f"(source={s}, tag={t}, context={c})"
+                    for s, t, c in pending[:8]
+                )
+                extra = (
+                    f" … +{len(pending) - 8} more"
+                    if len(pending) > 8 else ""
+                )
+                lines.append(
+                    f"  rank {rank}: {len(pending)} undelivered: "
+                    f"{shown}{extra}"
+                )
+        if not pending_any:
+            lines.append("  (all mailboxes empty)")
+        return "\n".join(lines)
 
 
 class _PhaseScope:
@@ -326,30 +411,53 @@ class Comm:
     # point-to-point
     # ------------------------------------------------------------------
     def send(self, data: Any, dest: int, tag: int = 0) -> None:
-        """Buffered asynchronous send of a generic payload."""
+        """Buffered asynchronous send of a generic payload.
+
+        When the run carries a fault injector this is the injection
+        seam: the injector may retime, drop, duplicate, hold back or
+        corrupt the outgoing message (or crash this rank).  The ledger
+        and timing trace record what is *actually delivered*, so byte
+        accounting and predicted time follow the faulty execution.
+        """
         if not 0 <= dest < self.size:
             raise ValueError(
                 f"dest {dest} out of range for communicator of size "
                 f"{self.size}"
             )
+        dst_world = self._group[dest]
         nbytes = payload_nbytes(data)
-        msg = _Message(
-            self._context_id,
-            self._rank,
-            tag,
-            _copy_payload(data),
-            nbytes,
-        )
-        self._ctx.ledger.record_send(self._world_rank, nbytes)
-        trace = self._ctx.trace
-        if trace is not None:
-            msg.send_id = trace.record_send(
-                self._world_rank,
-                self._group[dest],
-                nbytes,
-                self._ctx.ledger.current_phase(self._world_rank),
+        payload = _copy_payload(data)
+        phase = self._ctx.ledger.current_phase(self._world_rank)
+        injector = self._ctx.faults
+        if injector is None:
+            deliveries = (
+                (payload, nbytes, self._context_id, self._rank, tag, 0.0),
             )
-        self._ctx.mailboxes[self._group[dest]].deliver(msg)
+        else:
+            deliveries = tuple(
+                (d.payload, d.nbytes, d.context, d.source, d.tag,
+                 d.delay_s)
+                for d in injector.process_send(
+                    self._world_rank, dst_world, self._context_id,
+                    self._rank, tag, phase, payload, nbytes,
+                )
+            )
+        trace = self._ctx.trace
+        mailbox = self._ctx.mailboxes[dst_world]
+        for d_payload, d_nbytes, d_context, d_source, d_tag, d_delay in (
+            deliveries
+        ):
+            msg = _Message(d_context, d_source, d_tag, d_payload, d_nbytes)
+            self._ctx.ledger.record_send(self._world_rank, d_nbytes)
+            if trace is not None:
+                msg.send_id = trace.record_send(
+                    self._world_rank,
+                    dst_world,
+                    d_nbytes,
+                    phase,
+                    delay_s=d_delay,
+                )
+            mailbox.deliver(msg)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive; returns the payload."""
@@ -365,9 +473,16 @@ class Comm:
                 f"source {source} out of range for communicator of size "
                 f"{self.size}"
             )
-        msg = self._ctx.mailboxes[self._world_rank].take(
-            self._context_id, source, tag, self._ctx.timeout
+        self._ctx.waiting[self._world_rank] = (
+            source, tag, self._context_id
         )
+        try:
+            msg = self._ctx.mailboxes[self._world_rank].take(
+                self._context_id, source, tag, self._ctx.deadline,
+                self._ctx.timeout, diag=self._ctx.census,
+            )
+        finally:
+            self._ctx.waiting.pop(self._world_rank, None)
         self._ctx.ledger.record_recv(self._world_rank, msg.nbytes)
         trace = self._ctx.trace
         if trace is not None and msg.send_id is not None:
@@ -466,7 +581,9 @@ class Comm:
             self._rank,
             None,
             self.size,
+            self._ctx.deadline,
             self._ctx.timeout,
+            diag=self._ctx.census,
         )
 
     def split(
@@ -485,7 +602,9 @@ class Comm:
             self._rank,
             (color, key),
             self.size,
+            self._ctx.deadline,
             self._ctx.timeout,
+            diag=self._ctx.census,
         )
         colors = sorted(
             {c for c, _ in contrib.values() if c is not None}
@@ -517,7 +636,8 @@ class Comm:
         if self._rank == 0:
             value = self._ctx.allocate_contexts(count)
         contrib = self._ctx.rendezvous.exchange(
-            key, self._rank, value, self.size, self._ctx.timeout
+            key, self._rank, value, self.size, self._ctx.deadline,
+            self._ctx.timeout, diag=self._ctx.census,
         )
         return contrib[0]
 
@@ -589,6 +709,7 @@ def run_spmd(
     timeout: float = _DEFAULT_TIMEOUT,
     return_report: bool = True,
     machine: Any = None,
+    faults: Any = None,
 ) -> tuple[list[Any], VolumeReport]:
     """Run ``fn(comm, *args)`` on ``nranks`` threads.
 
@@ -596,12 +717,24 @@ def run_spmd(
     return value.  If any rank raises, a :class:`RankFailure` carrying
     every failure is raised after all threads have stopped.
 
+    ``timeout`` is the per-run watchdog window (seconds): one absolute
+    deadline shared by every blocking receive and rendezvous.  A lost
+    message surfaces as a :class:`DeadlockError` with a blocked-rank
+    census instead of a frozen suite, and because the deadline is
+    run-wide, every stuck rank fails at the *same* instant — a
+    dependency chain of stalls costs one window, not one per level.
+
     ``machine`` (a :class:`~repro.models.machines.Machine`, preset name
     or spec path) switches on the discrete-event clock: the run records
     an event trace and the returned report carries a
     :class:`~repro.smpi.timing.TimingReport` in ``report.timing`` —
     predicted per-rank wall-clock under that machine's α-β-γ model.
     Byte accounting is identical with or without a machine.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`, plan dict, or JSON
+    path) arms deterministic fault injection on the send seam; the
+    returned report carries the canonical fault log in
+    ``report.faults``.
     """
     if nranks <= 0:
         raise ValueError(f"nranks must be positive, got {nranks}")
@@ -613,7 +746,14 @@ def run_spmd(
 
         resolved = resolve_machine(machine)
         trace = EventTrace(nranks)
-    ctx = _Context(nranks, timeout, trace=trace)
+    injector = None
+    if faults is not None:
+        from repro.faults import FaultInjector, resolve_faults
+
+        plan = resolve_faults(faults)
+        if plan is not None and plan.rules:
+            injector = FaultInjector(plan, nranks)
+    ctx = _Context(nranks, timeout, trace=trace, faults=injector)
     results: list[Any] = [None] * nranks
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
@@ -641,16 +781,21 @@ def run_spmd(
         t.start()
     for t in threads:
         t.join()
+    if injector is not None:
+        injector.finish()
     if failures:
         failures.sort(key=lambda f: f[0])
         raise RankFailure(failures)
     report = ctx.ledger.snapshot()
-    if trace is not None:
+    if trace is not None or injector is not None:
         import dataclasses
 
-        from repro.smpi.timing import simulate
+        updates: dict[str, Any] = {}
+        if trace is not None:
+            from repro.smpi.timing import simulate
 
-        report = dataclasses.replace(
-            report, timing=simulate(trace, resolved)
-        )
+            updates["timing"] = simulate(trace, resolved)
+        if injector is not None:
+            updates["faults"] = injector.report()
+        report = dataclasses.replace(report, **updates)
     return results, report

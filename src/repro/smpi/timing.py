@@ -77,12 +77,24 @@ class EventTrace:
         self._send_seq = [0] * nranks
 
     def record_send(
-        self, rank: int, dst: int, nbytes: int, phase: str | None
+        self,
+        rank: int,
+        dst: int,
+        nbytes: int,
+        phase: str | None,
+        delay_s: float = 0.0,
     ) -> tuple[int, int]:
-        """Log a send; returns its ``(rank, seq)`` message id."""
+        """Log a send; returns its ``(rank, seq)`` message id.
+
+        ``delay_s`` is extra in-flight latency charged to this one
+        message at replay time — the hook the fault injector uses to
+        make injected delays visible in predicted per-rank seconds.
+        """
         seq = self._send_seq[rank]
         self._send_seq[rank] = seq + 1
-        self.events[rank].append((_SEND, dst, nbytes, seq, phase))
+        self.events[rank].append(
+            (_SEND, dst, nbytes, seq, phase, delay_s)
+        )
         return (rank, seq)
 
     def record_recv(
@@ -220,8 +232,10 @@ def simulate(trace: EventTrace, machine: "Machine") -> TimingReport:
         kind = ev[0]
 
         if kind == _SEND:
-            _, dst, nbytes, seq, phase = ev
+            _, dst, nbytes, seq, phase, delay_s = ev
             arrival = net.transfer(rank, dst, nbytes, ready=clock)
+            if delay_s:
+                arrival += delay_s
             send_id = (rank, seq)
             waiter = waiting_recv.pop(send_id, None)
             if waiter is None:

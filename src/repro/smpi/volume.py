@@ -40,6 +40,12 @@ class VolumeReport:
     timing:
         Predicted-time report when the run was given a machine spec
         (``run_spmd(..., machine=...)``); ``None`` for volume-only runs.
+    faults:
+        Canonical fault-injection log (``repro.faults``) when the run
+        was armed with ``run_spmd(..., faults=...)``; ``None`` for
+        clean runs.  JSON-clean dict with ``plan`` / ``n_injected`` /
+        ``by_action`` / ``events`` keys, identical across replays of
+        the same seeded plan.
     """
 
     nranks: int
@@ -49,6 +55,7 @@ class VolumeReport:
     phase_bytes: dict[str, int] = field(default_factory=dict)
     phase_messages: dict[str, int] = field(default_factory=dict)
     timing: "TimingReport | None" = None
+    faults: dict | None = None
 
     @property
     def total_bytes(self) -> int:

@@ -1,0 +1,142 @@
+"""Sweep-harness resilience: per-point timeouts and transient retry.
+
+A chaos sweep intentionally deadlocks ranks, so the harness must bound
+each point's wall clock and retry failures classified as transient
+(the classification shared with the service's retry policy) without
+ever unwinding the whole sweep.
+"""
+
+import time
+
+import pytest
+
+from repro.harness.sweep import (
+    STATUS_ERROR,
+    STATUS_OK,
+    SweepSpec,
+    run_sweep,
+    task,
+    unregister_task,
+)
+
+
+@pytest.fixture
+def flaky_task(tmp_path):
+    """A task whose first ``fail_times`` calls raise transiently.
+
+    The attempt counter lives in a file so it survives both the inline
+    path and a forked pool worker.
+    """
+    counter = tmp_path / "attempts"
+
+    @task("_flaky", schema_version=1)
+    def flaky(
+        x: int,
+        fail_times: int = 0,
+        transient: bool = True,
+        sleep_s: float = 0.0,
+    ) -> dict:
+        if sleep_s:
+            time.sleep(sleep_s)
+        n = int(counter.read_text()) if counter.exists() else 0
+        counter.write_text(str(n + 1))
+        if n < fail_times:
+            if transient:
+                from repro.smpi import DeadlockError
+
+                raise DeadlockError(f"simulated stall #{n + 1}")
+            raise ValueError(f"deterministic failure #{n + 1}")
+        return {"x": x, "calls": n + 1}
+
+    yield counter
+    unregister_task("_flaky")
+
+
+def spec(**fixed) -> SweepSpec:
+    return SweepSpec(
+        name="flaky", task="_flaky", axes={"x": [1]}, fixed=fixed
+    )
+
+
+class TestValidation:
+    def test_point_timeout_must_be_positive(self, flaky_task):
+        with pytest.raises(ValueError, match="point_timeout_s"):
+            run_sweep(spec(), point_timeout_s=0.0)
+        with pytest.raises(ValueError, match="point_timeout_s"):
+            run_sweep(spec(), point_timeout_s=-1.0)
+
+    def test_retries_must_be_non_negative(self, flaky_task):
+        with pytest.raises(ValueError, match="retries"):
+            run_sweep(spec(), retries=-1)
+
+
+class TestInlineTimeout:
+    def test_hung_point_becomes_a_timeout_error(self, flaky_task):
+        start = time.monotonic()
+        result = run_sweep(
+            spec(sleep_s=3.0), point_timeout_s=0.2
+        )
+        elapsed = time.monotonic() - start
+        (res,) = result.results
+        assert res.status == STATUS_ERROR
+        assert res.error.startswith("TimeoutError: point exceeded")
+        assert elapsed < 2.5  # did not wait out the 3s sleep
+
+    def test_fast_point_is_unaffected(self, flaky_task):
+        result = run_sweep(spec(), point_timeout_s=5.0)
+        (res,) = result.results
+        assert res.status == STATUS_OK
+        assert res.attempts == 1
+
+
+class TestTransientRetry:
+    def test_transient_failure_retried_to_success(self, flaky_task):
+        result = run_sweep(spec(fail_times=2), retries=2)
+        (res,) = result.results
+        assert res.status == STATUS_OK
+        assert res.attempts == 3
+        assert res.result["calls"] == 3
+
+    def test_retries_exhausted_keeps_the_failure(self, flaky_task):
+        result = run_sweep(spec(fail_times=99), retries=1)
+        (res,) = result.results
+        assert res.status == STATUS_ERROR
+        assert res.attempts == 2
+        assert "DeadlockError" in res.error
+
+    def test_deterministic_failure_is_not_retried(self, flaky_task):
+        result = run_sweep(
+            spec(fail_times=99, transient=False), retries=3
+        )
+        (res,) = result.results
+        assert res.status == STATUS_ERROR
+        assert res.attempts == 1
+        assert int(flaky_task.read_text()) == 1
+
+    def test_no_retries_by_default(self, flaky_task):
+        result = run_sweep(spec(fail_times=1))
+        (res,) = result.results
+        assert res.status == STATUS_ERROR
+        assert res.attempts == 1
+
+
+class TestPoolResilience:
+    def test_pool_timeout_abandons_the_worker(self, flaky_task):
+        hung = SweepSpec(
+            name="flaky", task="_flaky", axes={"x": [1, 2]},
+            fixed={"sleep_s": 2.0},
+        )
+        start = time.monotonic()
+        result = run_sweep(hung, workers=2, point_timeout_s=0.3)
+        elapsed = time.monotonic() - start
+        assert elapsed < 1.8  # did not wait out either 2s sleep
+        assert len(result.results) == 2
+        for res in result.results:
+            assert res.status == STATUS_ERROR
+            assert "worker abandoned" in res.error
+
+    def test_pool_retry_matches_inline(self, flaky_task):
+        result = run_sweep(spec(fail_times=1), workers=1, retries=1)
+        (res,) = result.results
+        assert res.status == STATUS_OK
+        assert res.attempts == 2

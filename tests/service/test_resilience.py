@@ -1,0 +1,360 @@
+"""Resilience policies: retry backoff, circuit breaker, deadlines.
+
+The robustness ISSUE's service-side requirements: transient failures
+are retried with deterministic exponential backoff, repeatedly-failing
+shapes are shed by a per-shape circuit breaker, callers can bound
+their own wait with ``deadline_s``, and the overload hint
+``retry_after_s`` tracks a per-shape service-time EMA.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    CircuitBreaker,
+    FactorRequest,
+    FactorService,
+    RetryPolicy,
+    ServiceConfig,
+    is_transient,
+)
+from repro.service.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    is_transient_error_string,
+)
+from repro.smpi import DeadlockError, RankFailure
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def fake_runner(params):
+    return {"params": dict(params), "residual": 0.0}
+
+
+class TestTransientClassification:
+    def test_transient_exceptions(self):
+        assert is_transient(DeadlockError("stuck"))
+        assert is_transient(RankFailure([(1, ValueError("x"))]))
+        assert is_transient(TimeoutError())
+
+    def test_deterministic_exceptions_are_not_transient(self):
+        assert not is_transient(ValueError("bad shape"))
+        assert not is_transient(KeyError("impl"))
+
+    def test_error_strings(self):
+        # the sweep harness stores failures as "TypeName: message"
+        assert is_transient_error_string("DeadlockError: recv timed out")
+        assert is_transient_error_string("RankFailure: 3 rank(s) failed")
+        assert is_transient_error_string("TimeoutError: point exceeded")
+        # traceback formatting module-qualifies non-builtin exceptions
+        assert is_transient_error_string(
+            "repro.smpi.runtime.DeadlockError: recv timed out"
+        )
+        assert not is_transient_error_string("ValueError: v must be >= 1")
+        assert not is_transient_error_string("")
+        assert not is_transient_error_string(None)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            max_retries=8, backoff_s=0.01, multiplier=2.0,
+            jitter=0.0, max_backoff_s=0.05,
+        )
+        delays = [policy.delay_s(k) for k in range(1, 9)]
+        assert delays[0] == pytest.approx(0.01)
+        assert delays[1] == pytest.approx(0.02)
+        assert delays[2] == pytest.approx(0.04)
+        # capped from attempt 4 on
+        assert all(d == pytest.approx(0.05) for d in delays[3:])
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_retries=3, backoff_s=0.1, jitter=0.2)
+        a = policy.delay_s(1, key="shape-a")
+        assert a == policy.delay_s(1, key="shape-a")
+        assert 0.08 <= a <= 0.12
+        # different keys decorrelate, same determinism
+        b = policy.delay_s(1, key="shape-b")
+        assert b == policy.delay_s(1, key="shape-b")
+        assert a != b
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0):
+        clock = {"t": 0.0}
+        breaker = CircuitBreaker(
+            threshold, cooldown, clock=lambda: clock["t"]
+        )
+        return breaker, clock
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.record_failure("k")
+        assert breaker.state("k") == CLOSED
+        assert breaker.allow("k") == (True, 0.0)
+        breaker.record_failure("k")
+        assert breaker.state("k") == OPEN
+        ok, retry_after = breaker.allow("k")
+        assert not ok and retry_after == pytest.approx(10.0)
+
+    def test_success_resets_the_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        breaker.record_success("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") == CLOSED
+
+    def test_half_open_admits_exactly_one_trial(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure("k")
+        clock["t"] = 6.0
+        assert breaker.state("k") == HALF_OPEN
+        ok, _ = breaker.allow("k")
+        assert ok
+        # the trial is in flight: everyone else still sheds
+        ok, retry_after = breaker.allow("k")
+        assert not ok and retry_after > 0
+
+    def test_failed_trial_retrips_success_closes(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure("k")
+        clock["t"] = 6.0
+        assert breaker.allow("k")[0]
+        breaker.record_failure("k")
+        assert breaker.state("k") == OPEN
+        assert not breaker.allow("k")[0]
+        clock["t"] = 12.0
+        assert breaker.allow("k")[0]
+        breaker.record_success("k")
+        assert breaker.state("k") == CLOSED
+        assert breaker.open_keys() == []
+
+    def test_keys_are_independent(self):
+        breaker, _ = self.make(threshold=1)
+        breaker.record_failure("a")
+        assert breaker.state("a") == OPEN
+        assert breaker.allow("b") == (True, 0.0)
+        assert breaker.open_keys() == ["a"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0, 1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, 0.0)
+
+
+def flaky_runner(fail_times, exc=DeadlockError("transient stall")):
+    """Fails the first ``fail_times`` calls, then succeeds."""
+    calls = {"n": 0}
+
+    def runner(params):
+        calls["n"] += 1
+        if calls["n"] <= fail_times:
+            raise exc
+        return {"params": dict(params), "residual": 0.0}
+
+    runner.calls = calls
+    return runner
+
+
+class TestWorkerRetry:
+    def test_transient_failure_is_retried_to_success(self):
+        async def go():
+            config = ServiceConfig(
+                workers=1, max_retries=2, retry_backoff_s=0.001
+            )
+            runner = flaky_runner(2)
+            async with FactorService(
+                config, job_runner=runner
+            ) as service:
+                response = await service.submit(FactorRequest(n=32))
+            assert response.status == STATUS_OK
+            assert runner.calls["n"] == 3
+            assert service.metrics_snapshot()["worker_retries"] == 2
+
+        run(go())
+
+    def test_retries_exhausted_reports_the_attempt_count(self):
+        async def go():
+            config = ServiceConfig(
+                workers=1, max_retries=1, retry_backoff_s=0.001
+            )
+            async with FactorService(
+                config, job_runner=flaky_runner(99)
+            ) as service:
+                response = await service.submit(FactorRequest(n=32))
+            assert response.status == STATUS_ERROR
+            assert "after 1 retry" in response.error
+
+        run(go())
+
+    def test_deterministic_failure_is_not_retried(self):
+        async def go():
+            config = ServiceConfig(
+                workers=1, max_retries=3, retry_backoff_s=0.001
+            )
+            runner = flaky_runner(99, exc=ValueError("bad v"))
+            async with FactorService(
+                config, job_runner=runner
+            ) as service:
+                response = await service.submit(FactorRequest(n=32))
+            assert response.status == STATUS_ERROR
+            assert runner.calls["n"] == 1
+            assert service.metrics_snapshot()["worker_retries"] == 0
+
+        run(go())
+
+
+class TestServiceBreaker:
+    def test_repeated_failures_shed_the_shape(self):
+        async def go():
+            config = ServiceConfig(
+                workers=1, breaker_threshold=2, breaker_cooldown_s=30.0
+            )
+            async with FactorService(
+                config,
+                job_runner=flaky_runner(99, exc=ValueError("broken")),
+            ) as service:
+                for _ in range(2):
+                    response = await service.submit(FactorRequest(n=32))
+                    assert response.status == STATUS_ERROR
+                shed = await service.submit(FactorRequest(n=32))
+                assert shed.status == STATUS_REJECTED
+                assert "circuit open" in shed.error
+                assert shed.retry_after_s > 0
+                # a different shape is unaffected
+                other = await service.submit(FactorRequest(n=48))
+                assert other.status == STATUS_ERROR
+                metrics = service.metrics_snapshot()
+                assert metrics["breaker_rejections"] == 1
+                assert len(metrics["breaker_open_shapes"]) == 1
+
+        run(go())
+
+    def test_cache_hits_bypass_an_open_breaker(self, tmp_path):
+        from repro.harness.cache import SweepCache
+
+        async def go():
+            cache = SweepCache(tmp_path)
+            config = ServiceConfig(workers=1)
+            async with FactorService(
+                config, cache=cache, job_runner=fake_runner
+            ) as service:
+                assert (
+                    await service.submit(FactorRequest(n=32))
+                ).status == STATUS_OK
+            config = ServiceConfig(
+                workers=1, breaker_threshold=1, breaker_cooldown_s=30.0
+            )
+            async with FactorService(
+                config,
+                cache=cache,
+                job_runner=flaky_runner(99, exc=ValueError("broken")),
+            ) as service:
+                # trip the breaker on a different seed (same shape)
+                bad = await service.submit(FactorRequest(n=32, seed=9))
+                assert bad.status == STATUS_ERROR
+                shed = await service.submit(FactorRequest(n=32, seed=8))
+                assert shed.status == STATUS_REJECTED
+                # the cached request short-circuits before the breaker
+                hit = await service.submit(FactorRequest(n=32))
+                assert hit.status == STATUS_OK and hit.cache_hit
+
+        run(go())
+
+
+class TestDeadlines:
+    def test_deadline_s_validation(self):
+        with pytest.raises(ValueError):
+            FactorRequest(n=32, deadline_s=0)
+        with pytest.raises(ValueError):
+            FactorRequest(n=32, deadline_s=-1.0)
+
+    def test_deadline_is_not_part_of_the_cache_key(self):
+        a = FactorRequest(n=32, deadline_s=1.0)
+        b = FactorRequest(n=32, deadline_s=9.0)
+        assert a.params() == b.params()
+        assert a.cache_key() == b.cache_key()
+        assert "deadline_s" not in a.params()
+
+    def test_from_dict_accepts_deadline(self):
+        request = FactorRequest.from_dict({"n": 32, "deadline_s": 0.5})
+        assert request.deadline_s == 0.5
+
+    def test_tight_deadline_times_out_before_request_timeout(self):
+        import time
+
+        def slow(params):
+            time.sleep(0.2)
+            return {"params": dict(params)}
+
+        async def go():
+            config = ServiceConfig(workers=1, request_timeout_s=60.0)
+            async with FactorService(
+                config, job_runner=slow
+            ) as service:
+                start = time.monotonic()
+                response = await service.submit(
+                    FactorRequest(n=32, deadline_s=0.02)
+                )
+                elapsed = time.monotonic() - start
+            assert response.status == "timeout"
+            assert elapsed < 1.0
+
+        run(go())
+
+
+class TestPerShapeRetryAfter:
+    def test_hint_tracks_the_shape_ema(self):
+        import time
+
+        def slow(params):
+            time.sleep(0.05 if params["n"] == 64 else 0.001)
+            return {"params": dict(params)}
+
+        async def go():
+            config = ServiceConfig(workers=1)
+            async with FactorService(
+                config, job_runner=slow
+            ) as service:
+                await service.submit(FactorRequest(n=64))
+                await service.submit(FactorRequest(n=16))
+                slow_shape = FactorRequest(n=64).shape_key()
+                fast_shape = FactorRequest(n=16).shape_key()
+                assert service.retry_after_s(
+                    1, shape=slow_shape
+                ) > service.retry_after_s(1, shape=fast_shape)
+                # unknown shapes fall back to the global EMA
+                assert service.retry_after_s(1) > 0
+
+        run(go())
+
+    def test_config_validation_covers_resilience_fields(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(retry_backoff_s=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(breaker_threshold=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(breaker_threshold=1, breaker_cooldown_s=0)
