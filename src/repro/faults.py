@@ -492,8 +492,21 @@ class FaultInjector:
         bit = int(
             self._unit(rule_idx, src, dst, tag, seq, "bit") * nbits
         )
-        flat = a.reshape(-1).view(np.uint8)
-        flat[bit // 8] ^= np.uint8(1 << (bit % 8))
+        # Flip through a memory-sharing view: reshape(-1) silently
+        # *copies* F-contiguous arrays, which would corrupt a temporary
+        # and leave the delivered payload pristine while the log claims
+        # a flip.  ravel(order="K") views any contiguous layout; the
+        # rare non-contiguous payload falls back to an element rewrite.
+        flat = a.ravel(order="K")
+        if np.shares_memory(flat, a):
+            flat.view(np.uint8)[bit // 8] ^= np.uint8(1 << (bit % 8))
+        else:
+            itembits = a.itemsize * 8
+            raw = bytearray(a.flat[bit // itembits].tobytes())
+            raw[(bit % itembits) // 8] ^= 1 << (bit % 8)
+            a.flat[bit // itembits] = np.frombuffer(
+                bytes(raw), dtype=a.dtype
+            )[0]
         self._log(
             rule_idx, "bitflip", src, dst, tag, seq, None,
             f"bit {bit} of {a.nbytes}-byte buffer",

@@ -468,9 +468,11 @@ def run_sweep(
     ``point_timeout_s`` bounds each point's wall clock so one hung
     point cannot stall the grid: expired points are recorded as
     ``TimeoutError`` failures and their execution abandoned (inline: a
-    daemon thread; pool: the future's result is discarded — a point
-    cancelled before it started is resubmitted with a fresh window,
-    since it only queued behind a hung one).  ``retries`` re-executes a
+    daemon thread; pool: points are handed to the pool only when a
+    worker is free, so a point's window covers execution, never time
+    spent queued behind a hung peer — each abandoned point writes off
+    one worker, and if every worker is wedged the remaining points
+    fail as not-started).  ``retries`` re-executes a
     point up to that many extra times when it fails *transiently*
     (deadlocks, rank failures); deterministic failures are never
     retried, and timed-out points are not either — the cache-resume
@@ -556,19 +558,30 @@ def run_sweep(
         )
         abandoned = False
         try:
-            futures = {
-                pool.submit(_execute_point_with_retry, point, retries):
-                    (idx, point)
-                for idx, point in pending
-            }
-            deadlines = {
-                fut: (
-                    time.monotonic() + point_timeout_s
-                    if point_timeout_s else None
-                )
-                for fut in futures
-            }
-            not_done = set(futures)
+            # Hand a point to the pool only when a worker is free: its
+            # deadline is stamped at submission, so keeping at most one
+            # in-flight point per live worker means the window measures
+            # execution, not time spent queued behind a hung peer.
+            queue = list(pending)
+            capacity = min(workers, len(pending))
+            futures: dict[Any, tuple[int, SweepPoint]] = {}
+            deadlines: dict[Any, float | None] = {}
+            not_done: set[Any] = set()
+
+            def _fill_free_slots() -> None:
+                while queue and len(not_done) < capacity:
+                    idx, point = queue.pop(0)
+                    fut = pool.submit(
+                        _execute_point_with_retry, point, retries
+                    )
+                    futures[fut] = (idx, point)
+                    deadlines[fut] = (
+                        time.monotonic() + point_timeout_s
+                        if point_timeout_s else None
+                    )
+                    not_done.add(fut)
+
+            _fill_free_slots()
             while not_done:
                 wait_s = None
                 if point_timeout_s is not None:
@@ -584,38 +597,47 @@ def run_sweep(
                 for fut in done:
                     idx, _ = futures[fut]
                     finish(idx, fut.result())
-                if point_timeout_s is None:
-                    continue
-                now = time.monotonic()
-                for fut in [
-                    f for f in not_done if deadlines[f] <= now
-                ]:
-                    not_done.discard(fut)
-                    idx, point = futures[fut]
-                    if fut.cancel():
-                        # Never started — it was queued behind a hung
-                        # point; give it a fresh window.
-                        refut = pool.submit(
-                            _execute_point_with_retry, point, retries
-                        )
-                        futures[refut] = (idx, point)
-                        deadlines[refut] = now + point_timeout_s
-                        not_done.add(refut)
-                        continue
-                    abandoned = True
-                    finish(
-                        idx,
-                        PointResult(
-                            point=point,
-                            status=STATUS_ERROR,
-                            error=(
-                                f"TimeoutError: point exceeded "
-                                f"{point_timeout_s:g}s wall clock "
-                                f"(worker abandoned)"
+                if point_timeout_s is not None:
+                    now = time.monotonic()
+                    for fut in [
+                        f for f in not_done if deadlines[f] <= now
+                    ]:
+                        not_done.discard(fut)
+                        idx, point = futures[fut]
+                        # The worker is wedged on this point: write it
+                        # off as lost capacity for the rest of the
+                        # sweep.  (If it finishes late the pool reuses
+                        # it; we just never over-subscribe.)
+                        abandoned = True
+                        capacity -= 1
+                        finish(
+                            idx,
+                            PointResult(
+                                point=point,
+                                status=STATUS_ERROR,
+                                error=(
+                                    f"TimeoutError: point exceeded "
+                                    f"{point_timeout_s:g}s wall clock "
+                                    f"(worker abandoned)"
+                                ),
+                                elapsed_s=point_timeout_s,
                             ),
-                            elapsed_s=point_timeout_s,
+                        )
+                _fill_free_slots()
+            for idx, point in queue:
+                # Only reachable when capacity hit zero: every pool
+                # worker is wedged on a timed-out point.
+                finish(
+                    idx,
+                    PointResult(
+                        point=point,
+                        status=STATUS_ERROR,
+                        error=(
+                            "TimeoutError: point never started — all "
+                            "pool workers are hung on timed-out points"
                         ),
-                    )
+                    ),
+                )
         finally:
             # A hung worker cannot be joined without stalling the
             # sweep; leave it to die with the pool's processes.

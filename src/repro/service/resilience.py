@@ -160,11 +160,25 @@ class CircuitBreaker:
         self.cooldown_s = cooldown_s
         self._clock = clock
         self._lock = threading.Lock()
-        #: key -> [consecutive failures, opened_at | None, trial live?]
+        #: key -> [consecutive failures, opened_at | None, trial live?,
+        #: last failure instant].  Only failures create slots (allow()
+        #: never does), and closed slots whose failures went quiet for
+        #: a cooldown are swept — otherwise a long-running service
+        #: accumulates one slot per key that ever failed.
         self._slots: dict = {}
+        self._last_sweep = clock()
 
-    def _slot(self, key) -> list:
-        return self._slots.setdefault(key, [0, None, False])
+    def _sweep(self, now: float) -> None:
+        """Drop stale closed slots.  Caller holds the lock."""
+        if now - self._last_sweep < self.cooldown_s:
+            return
+        self._last_sweep = now
+        stale = [
+            k for k, slot in self._slots.items()
+            if slot[1] is None and now - slot[3] >= self.cooldown_s
+        ]
+        for k in stale:
+            del self._slots[k]
 
     def state(self, key) -> str:
         with self._lock:
@@ -177,10 +191,12 @@ class CircuitBreaker:
 
     def allow(self, key) -> tuple[bool, float]:
         with self._lock:
-            slot = self._slot(key)
-            if slot[1] is None:
+            now = self._clock()
+            self._sweep(now)
+            slot = self._slots.get(key)
+            if slot is None or slot[1] is None:
                 return True, 0.0
-            elapsed = self._clock() - slot[1]
+            elapsed = now - slot[1]
             if elapsed < self.cooldown_s:
                 return False, self.cooldown_s - elapsed
             if slot[2]:
@@ -196,11 +212,14 @@ class CircuitBreaker:
 
     def record_failure(self, key) -> None:
         with self._lock:
-            slot = self._slot(key)
+            now = self._clock()
+            self._sweep(now)
+            slot = self._slots.setdefault(key, [0, None, False, now])
             slot[0] += 1
+            slot[3] = now
             if slot[1] is not None or slot[0] >= self.threshold:
                 # Trip (or re-trip after a failed half-open trial).
-                slot[1] = self._clock()
+                slot[1] = now
             slot[2] = False
 
     def open_keys(self) -> list:

@@ -56,6 +56,11 @@ from repro.service.worker import run_factor_batch, run_factor_job
 _INITIAL_SERVICE_ESTIMATE_S = 0.05
 #: EMA smoothing for the per-job service-time estimate.
 _EMA_ALPHA = 0.2
+#: Bound on the per-shape EMA table: a long-running service seeing a
+#: stream of distinct shapes evicts the least-recently-updated entry
+#: (which then falls back to the global EMA) instead of growing
+#: without limit.
+_EMA_SHAPE_CAP = 512
 
 
 class FactorService:
@@ -89,7 +94,9 @@ class FactorService:
         self._ema_service_s = _INITIAL_SERVICE_ESTIMATE_S
         #: shape_key -> per-job service-time EMA; the global EMA above
         #: is only the cold-start fallback, so ``retry_after_s`` hints
-        #: stay honest under mixed problem sizes.
+        #: stay honest under mixed problem sizes.  LRU-bounded at
+        #: ``_EMA_SHAPE_CAP`` entries (dict insertion order tracks
+        #: recency: updates reinsert their key).
         self._ema_by_shape: dict[tuple, float] = {}
         self._retry_policy = self.config.retry_policy()
         self._breaker = (
@@ -375,11 +382,15 @@ class FactorService:
                             (1 - _EMA_ALPHA) * self._ema_service_s
                             + _EMA_ALPHA * per_job
                         )
-                        prior = self._ema_by_shape.get(shape, per_job)
+                        prior = self._ema_by_shape.pop(shape, per_job)
                         self._ema_by_shape[shape] = (
                             (1 - _EMA_ALPHA) * prior
                             + _EMA_ALPHA * per_job
                         )
+                        while len(self._ema_by_shape) > _EMA_SHAPE_CAP:
+                            self._ema_by_shape.pop(
+                                next(iter(self._ema_by_shape))
+                            )
                         if self._breaker is not None:
                             self._breaker.record_success(shape)
                         for job, row in zip(unit, rows):

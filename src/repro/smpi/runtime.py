@@ -188,15 +188,21 @@ class _Mailbox:
                     else deadline - time.monotonic()
                 )
                 if remaining <= 0:
-                    message = (
-                        f"recv(source={source}, tag={tag}, "
-                        f"context={context}) timed out: run watchdog "
-                        f"({timeout:.0f}s) expired"
-                    )
-                    if diag is not None:
-                        message += "\n" + diag()
-                    raise DeadlockError(message)
+                    break
                 self._cond.wait(timeout=min(remaining, 5.0))
+        # Build the diagnostic *outside* the mailbox condition: the
+        # run-wide deadline wakes every stuck rank at once, and a census
+        # taken while holding this lock would cross-acquire the other
+        # rank's held lock (ABBA) — the watchdog's own diagnostic must
+        # not deadlock the watchdog.
+        message = (
+            f"recv(source={source}, tag={tag}, "
+            f"context={context}) timed out: run watchdog "
+            f"({timeout:.0f}s) expired"
+        )
+        if diag is not None:
+            message += "\n" + diag()
+        raise DeadlockError(message)
 
 
 class _Rendezvous:
@@ -223,33 +229,40 @@ class _Rendezvous:
         ``deadline`` is the run-wide watchdog instant, shared with
         :meth:`_Mailbox.take` (see there for why it is absolute).
         """
+        arrived = 0
         with self._cond:
             slot = self._slots.setdefault(key, {"contrib": {}, "done": 0})
             slot["contrib"][rank] = value
             if len(slot["contrib"]) == expected:
                 self._cond.notify_all()
-            else:
-                while len(slot["contrib"]) < expected:
-                    remaining = (
-                        threading.TIMEOUT_MAX if deadline is None
-                        else deadline - time.monotonic()
-                    )
-                    if remaining <= 0:
-                        message = (
-                            f"rendezvous {key!r} stuck at "
-                            f"{len(slot['contrib'])}/{expected} after "
-                            f"the run watchdog ({timeout:.0f}s)"
-                        )
-                        if diag is not None:
-                            message += "\n" + diag()
-                        raise DeadlockError(message)
-                    self._cond.wait(timeout=min(remaining, 5.0))
-            contrib = dict(slot["contrib"])
-            slot["done"] += 1
-            if slot["done"] == expected:
-                # Last one out cleans up so the key can be reused.
-                del self._slots[key]
-            return contrib
+            timed_out = False
+            while len(slot["contrib"]) < expected:
+                remaining = (
+                    threading.TIMEOUT_MAX if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining <= 0:
+                    timed_out = True
+                    arrived = len(slot["contrib"])
+                    break
+                self._cond.wait(timeout=min(remaining, 5.0))
+            if not timed_out:
+                contrib = dict(slot["contrib"])
+                slot["done"] += 1
+                if slot["done"] == expected:
+                    # Last one out cleans up so the key can be reused.
+                    del self._slots[key]
+                return contrib
+        # Diagnose outside the condition — census acquires mailbox
+        # locks held by other timed-out ranks (see _Mailbox.take).
+        message = (
+            f"rendezvous {key!r} stuck at "
+            f"{arrived}/{expected} after "
+            f"the run watchdog ({timeout:.0f}s)"
+        )
+        if diag is not None:
+            message += "\n" + diag()
+        raise DeadlockError(message)
 
 
 class _Context:
@@ -308,10 +321,21 @@ class _Context:
         lines.append("mailbox census:")
         pending_any = False
         for rank, mb in enumerate(self.mailboxes):
-            with mb._cond:
+            # Bounded acquire: census runs on the watchdog path, where
+            # several timed-out ranks may diagnose concurrently.  No
+            # caller holds a mailbox condition while in census (see
+            # _Mailbox.take), but a busy mailbox must degrade to a
+            # "(busy)" line rather than block the diagnostic forever.
+            if not mb._cond.acquire(timeout=1.0):
+                pending_any = True
+                lines.append(f"  rank {rank}: (mailbox busy; skipped)")
+                continue
+            try:
                 pending = sorted(
                     (m.source, m.tag, m.context) for m in mb._pending
                 )
+            finally:
+                mb._cond.release()
             if pending:
                 pending_any = True
                 shown = ", ".join(

@@ -135,6 +135,29 @@ class TestPoolResilience:
             assert res.status == STATUS_ERROR
             assert "worker abandoned" in res.error
 
+    def test_queued_point_fails_as_not_started_when_pool_is_wedged(
+        self, flaky_task
+    ):
+        # Points are handed to the pool only when a worker is free, so
+        # a queued point's timeout window never starts ticking behind a
+        # hung peer.  Here both workers wedge, so the queued point is
+        # reported as never started — not as having exceeded a window
+        # it never got.
+        wedged = SweepSpec(
+            name="flaky", task="_flaky",
+            axes={"sleep_s": [3.0, 3.0, 0.0]}, fixed={"x": 1},
+        )
+        start = time.monotonic()
+        result = run_sweep(wedged, workers=2, point_timeout_s=0.4)
+        elapsed = time.monotonic() - start
+        assert elapsed < 2.5  # never waited out a 3s sleep
+        hung, also_hung, queued = result.results
+        for res in (hung, also_hung):
+            assert res.status == STATUS_ERROR
+            assert "worker abandoned" in res.error
+        assert queued.status == STATUS_ERROR
+        assert "never started" in queued.error
+
     def test_pool_retry_matches_inline(self, flaky_task):
         result = run_sweep(spec(fail_times=1), workers=1, retries=1)
         (res,) = result.results

@@ -191,6 +191,39 @@ class TestInjectorActions:
         bits = np.unpackbits(d.payload.view(np.uint8))
         assert bits.sum() == 1
 
+    def test_bitflip_corrupts_fortran_ordered_payload(self):
+        # Regression: reshape(-1) silently copies F-contiguous arrays,
+        # so the flip mutated a temporary and the delivered payload
+        # stayed pristine while the log claimed a successful bitflip.
+        plan = FaultPlan(rules=(FaultRule(action="bitflip"),))
+        injector = FaultInjector(plan, 2)
+        payload = np.zeros((4, 4), order="F")
+        assert payload.flags.f_contiguous
+        (d,) = _send(injector, seq_payload=payload)
+        assert d.payload.flags.f_contiguous  # copy kept the layout
+        bits = np.unpackbits(
+            np.ascontiguousarray(d.payload).view(np.uint8)
+        )
+        assert bits.sum() == 1
+        assert injector.report()["by_action"] == {"bitflip": 1}
+
+    def test_bitflip_corrupts_noncontiguous_payload(self):
+        # The element-rewrite fallback path: a strided view payload is
+        # neither C- nor F-contiguous, so no flat byte view shares its
+        # memory.
+        plan = FaultPlan(rules=(FaultRule(action="bitflip"),))
+        injector = FaultInjector(plan, 2)
+        payload = np.zeros((8, 8))[::2, ::2]
+        assert not (
+            payload.flags.c_contiguous or payload.flags.f_contiguous
+        )
+        (d,) = _send(injector, seq_payload=payload)
+        bits = np.unpackbits(
+            np.ascontiguousarray(d.payload).view(np.uint8)
+        )
+        assert bits.sum() == 1
+        assert injector.report()["by_action"] == {"bitflip": 1}
+
     def test_bitflip_without_ndarray_is_a_logged_noop(self):
         plan = FaultPlan(rules=(FaultRule(action="bitflip"),))
         injector = FaultInjector(plan, 2)

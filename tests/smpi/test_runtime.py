@@ -1,5 +1,7 @@
 """Unit tests for the thread-based SPMD runtime (point-to-point layer)."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -199,6 +201,36 @@ class TestPointToPoint:
         with pytest.raises(RankFailure) as exc_info:
             run_spmd(2, fn, timeout=0.5)
         assert isinstance(exc_info.value.failures[0][1], DeadlockError)
+
+    def test_all_ranks_blocked_census_does_not_deadlock(self):
+        # Regression: every rank hits the shared run-wide deadline at
+        # the same instant, and each builds the mailbox census for its
+        # DeadlockError.  Taking the census while still holding the
+        # caller's own mailbox condition cross-acquired other timed-out
+        # ranks' held locks (ABBA) and hung run_spmd forever.  Run in a
+        # helper thread so a regression fails the test instead of
+        # freezing the suite.
+        def fn(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=9)
+
+        outcome = {}
+
+        def run():
+            try:
+                run_spmd(12, fn, timeout=0.3)
+            except BaseException as exc:  # noqa: BLE001
+                outcome["exc"] = exc
+
+        t = threading.Thread(target=run, daemon=True)
+        t.start()
+        t.join(timeout=30.0)
+        assert not t.is_alive(), "run_spmd hung in the watchdog path"
+        exc = outcome["exc"]
+        assert isinstance(exc, RankFailure)
+        assert len(exc.failures) == 12
+        for _, rank_exc in exc.failures:
+            assert isinstance(rank_exc, DeadlockError)
+            assert "blocked ranks:" in str(rank_exc)
 
 
 class TestVolumeAccounting:
