@@ -17,7 +17,12 @@ Three checks:
 import numpy as np
 import pytest
 
-from repro.harness import format_table, qr_lower_bound_gap, qr_strong_scaling
+from repro.harness import (
+    format_table,
+    qr_confqr_gap,
+    qr_lower_bound_gap,
+    qr_strong_scaling,
+)
 
 
 def test_qr_strong_scaling_prediction(benchmark, show, sweep_cache):
@@ -96,6 +101,46 @@ def test_qr_gap_within_constant_of_bound(benchmark, show, sweep_cache):
         assert row["gap"] <= 4.0  # the constant-factor acceptance bar
     gaps = [row["gap"] for row in rows]
     assert gaps[-1] < gaps[0]  # finite-N overhead shrinks with N
+
+
+def test_confqr_optimum_moves_past_c2(benchmark, show, sweep_cache):
+    """E10 — the COnfQR headline: over equal-P [G, G, c] grids the
+    compact-WY schedule's total volume is *strictly decreasing* in c
+    (every term scales with G = sqrt(P/c)), where CAQR's panel fan-out
+    flattens at c = 2 and then rises; and the measured volume sits on
+    the exact per-step model (<= 5% is the acceptance bar; the model
+    is exact by construction)."""
+    rows = benchmark.pedantic(
+        qr_confqr_gap,
+        kwargs={"gc_points": ((8, 1), (4, 4), (2, 16)), "n": 48,
+                "v": 4, "cache": sweep_cache},
+        rounds=1,
+        iterations=1,
+    )
+    show(format_table(
+        rows,
+        [
+            ("g", "G"),
+            ("c", "c"),
+            ("confqr_bytes", "confqr [B]"),
+            ("confqr_factor_bytes", "factor-only [B]"),
+            ("caqr25d_bytes", "caqr25d [B]"),
+            ("volume_ratio", "caqr/confqr"),
+            ("gap", "confqr/bound"),
+        ],
+        title="COnfQR vs 2.5D CAQR at P=64 across replication depths",
+    ))
+    rows = sorted(rows, key=lambda r: r["c"])
+    for row in rows:
+        assert row["model_error"] <= 0.05
+        assert row["gap"] > 1.0
+    for shallow, deep in zip(rows, rows[1:]):
+        # COnfQR keeps winning from replication past c = 2 ...
+        assert deep["confqr_bytes"] < shallow["confqr_bytes"]
+        assert deep["confqr_factor_bytes"] < shallow["confqr_factor_bytes"]
+        # ... while CAQR's volume rises again.
+        assert deep["caqr25d_bytes"] > shallow["caqr25d_bytes"]
+    assert rows[-1]["volume_ratio"] > 4.0
 
 
 def test_qr_bound_is_twice_lu_bound(benchmark):

@@ -67,6 +67,7 @@ from repro.algorithms.schedule25d import Rank25D, Schedule25D
 from repro.algorithms.conflux import conflux_lu
 from repro.algorithms.cholesky25d import cholesky25d_lu
 from repro.algorithms.caqr25d import caqr25d_qr
+from repro.algorithms import confqr as _confqr  # noqa: F401 (registers)
 from repro.algorithms.qr2d import qr2d_householder
 from repro.algorithms.mmm25d import mmm25d, mmm25d_model_bytes
 from repro.algorithms.scalapack2d import scalapack2d_lu

@@ -1,0 +1,457 @@
+"""COnfQR — near-optimal 2.5D QR on the [G, G, c] grid.
+
+The journal extension of the source paper (arXiv:2108.09337) carries
+COnfLUX's memory-for-communication trade over to QR.  CAQR
+(:mod:`repro.algorithms.caqr25d`) spends the c-fold replication on
+extra *column panes*: every layer holds a disjoint pane, so every
+step's reflector panel fans out full-width to all G·c - 1 sibling
+panes and the total volume ~ N²(Gc + 2G)/2 is *minimized at c = 2* —
+the flattening our ``qr-lower-bound-gap`` sweep measures.  COnfQR
+spends the same memory the COnfLUX way instead:
+
+* the factorization runs on the largest 2D grid whose blocks fill the
+  per-rank budget M = cN²/P — the G x G *compute layer* (layer 0),
+  rows and columns block-cyclic with block v
+  (:meth:`Schedule25D.init_compute_layer_layout`);
+* each panel is factored by a binary-tree TSQR across the G grid rows
+  of its pane column, then *Householder-reconstructed* into compact-WY
+  form (Ballard et al.; :func:`repro.kernels.tsqr.reconstruct_wy_top`):
+  the tree's thin Q is replayed once on a w-column identity, the root
+  takes the unpivoted LU of Q1 - S, and (V, T) come back — so the
+  trailing update is one ``B - V (T^T (V^T B))`` GEMM pair per step
+  (one ``col_comm`` allreduce) instead of replaying the merge tree
+  inside every pane;
+* the reflector panel V is row-broadcast only to the G - 1 layer-0
+  column peers — a factor G·c/G = c less panel fan-out than CAQR, so
+  total volume ~ 1.5·G·N² keeps *falling* as c grows (G = sqrt(P/c));
+* layers 1..c-1 are the *reflector bank*: via the same
+  ``chunking="split"`` policy COnfLUX uses for L21, each layer receives
+  exactly its 1/c ``sender_chunks`` slice of every step's V
+  (``bank_scatter``), which funds the distributed explicit-Q assembly:
+  after the last step the sweep runs backward over the steps, fiber-
+  gathering the banked chunks, row-broadcasting V, and applying
+  ``Q_t X = X - V (T (V^T X))`` to a distributed identity — retiring
+  the host-side orgqr-style replay CAQR uses (ROADMAP item 5(d): a
+  host-side replay is wrong for a real-MPI run).
+
+Per step t (active rows n_t, panel width w, trailing columns w_t, all
+phases on layer 0 unless noted; L_t = non-empty TSQR leaves):
+
+1.  tsqr_tree      — merge R factors up the binary tree: sum r_b · w
+2.  recon_tree     — replay the tree on the w-column identity to land
+                     Q1 rows on their owners: 2 · sum r_b · w
+3.  recon_bcast    — root sends (U, S, T) down the pane column:
+                     (G-1)(2w² + w); each rank back-solves its V rows
+4.  wy_t_bcast     — T to the whole compute layer: (G²-1) w²
+5.  panel_bcast    — V rows to the G-1 row peers: (G-1) n_t w
+6.  bank_scatter   — layer l gets its 1/c chunk of V (fibers, layers
+                     1..c-1): n_t w (c-1)/c
+7.  wy_apply       — Y = allreduce(V^T B) per column, B -= V T^T Y:
+                     2 (G-1) w w_t
+8.  q_* (assembly) — the reverse sweep mirrors 5-7 on all N columns:
+                     q_fiber_gather + q_panel_bcast + q_apply
+
+The exact per-step model is :func:`repro.models.costmodels.
+confqr_step_breakdown`; the ``qr-confqr-gap`` sweep checks it against
+the ledger and demonstrates the volume optimum moving past c = 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.api import register_algorithm
+from repro.algorithms.base import (
+    FactorResult,
+    FactorVerificationError,
+    validate_input_matrix,
+    verify_qr_factors,
+)
+from repro.algorithms.gridopt import optimize_grid_25d
+from repro.algorithms.schedule25d import Rank25D, StepContext
+from repro.kernels.tsqr import (
+    apply_q,
+    householder_qr,
+    merge_plan,
+    reconstruct_wy_top,
+    wy_below_rows,
+)
+from repro.smpi import run_spmd
+
+_TAG_TREE_R = 1
+_TAG_QTOP = 2
+_TAG_QTOP_BACK = 3
+_TAG_BANK = 4
+_TAG_QGATHER = 5
+
+
+class _ConfqrRank(Rank25D):
+    """Per-rank COnfQR program on the shared 2.5D schedule."""
+
+    def setup(self, a: np.ndarray) -> None:
+        sched = self.sched
+        sched.init_compute_layer_layout()
+        self.rows_by_grid_row = sched.rows_by_grid_row
+        self.my_rows = sched.my_rows
+        self.my_cols = sched.my_cols
+        self.col_g2l = sched.col_g2l
+        # Only the compute layer materializes matrix data; the bank
+        # layers hold reflector chunks keyed by step.
+        self.aloc = (
+            a[np.ix_(self.my_rows, self.my_cols)].copy()
+            if self.layer == 0
+            else None
+        )
+        self.bank: dict[int, np.ndarray] = {}
+        self.t_log: dict[int, np.ndarray] = {}
+
+    # -- step geometry -------------------------------------------------
+    def _step_geometry(self, t: int, k0: int):
+        sched = self.sched
+        rt = int(sched.rowmap.owner(k0))
+        qj = int(sched.colmap.owner(k0))
+        counts = [
+            len(rows) - int(np.searchsorted(rows, k0))
+            for rows in self.rows_by_grid_row
+        ]
+        start = int(np.searchsorted(self.my_rows, k0))
+        act_loc = np.arange(start, len(self.my_rows))
+        return rt, qj, counts, act_loc
+
+    # -- steps 1-6: tree TSQR, WY reconstruction, chunked fan-out ------
+    def panel_op(self, ctx: StepContext):
+        comm, gd, sched = self.comm, self.grid, self.sched
+        g = self.g
+        t, k0, k1, w = ctx.t, ctx.k0, ctx.k1, ctx.w
+        rt, qj, counts, act_loc = self._step_geometry(t, k0)
+        on_pane = self.layer == 0 and self.pj == qj
+
+        if self.layer != 0:
+            # Bank layers only receive their 1/c reflector chunk.
+            self._bank_recv(t, qj, counts)
+            return None
+
+        tree_counts = [counts[(rt + p) % g] for p in range(g)]
+        plan = merge_plan(tree_counts, w)
+
+        # 1. leaf QR + R merges up the binary tree (pane column only).
+        r_mine = None
+        leaf = None
+        if on_pane and len(act_loc):
+            panel_lcols = self.col_g2l[np.arange(k0, k1)]
+            panel = self.aloc[np.ix_(act_loc, panel_lcols)]
+            lv, ltau, r_mine = householder_qr(panel)
+            leaf = (lv, ltau)
+        my_nodes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if on_pane:
+            with comm.phase("tsqr_tree"):
+                for order, step in enumerate(plan):
+                    a_row = (rt + step.a) % g
+                    b_row = (rt + step.b) % g
+                    if self.pi == b_row:
+                        gd.col_comm.send(
+                            r_mine, a_row, sched.tag(_TAG_TREE_R, t)
+                        )
+                        r_mine = None
+                    elif self.pi == a_row:
+                        theirs = gd.col_comm.recv(
+                            b_row, sched.tag(_TAG_TREE_R, t)
+                        )
+                        stacked = np.vstack([r_mine, theirs])
+                        nv, ntau, r_mine = householder_qr(stacked)
+                        my_nodes[order] = (nv, ntau)
+
+        # 2. replay the tree on the w-column identity: Q1 rows land on
+        #    their owners (reverse schedule order, then the local leaf).
+        eloc = np.zeros((len(act_loc), w))
+        if on_pane:
+            if self.pi == rt and len(act_loc):
+                eloc[:w] = np.eye(w)
+            with comm.phase("recon_tree"):
+                for order, step in reversed(list(enumerate(plan))):
+                    a_row = (rt + step.a) % g
+                    b_row = (rt + step.b) % g
+                    if self.pi == b_row:
+                        gd.col_comm.send(
+                            eloc[: step.r_b].copy(),
+                            a_row,
+                            sched.tag(_TAG_QTOP, t),
+                        )
+                        eloc[: step.r_b] = gd.col_comm.recv(
+                            a_row, sched.tag(_TAG_QTOP_BACK, t)
+                        )
+                    elif self.pi == a_row:
+                        nv, ntau = my_nodes.pop(order)
+                        theirs = gd.col_comm.recv(
+                            b_row, sched.tag(_TAG_QTOP, t)
+                        )
+                        stacked = np.vstack([eloc[: step.r_a], theirs])
+                        out = apply_q(nv, ntau, stacked)
+                        eloc[: step.r_a] = out[: step.r_a]
+                        gd.col_comm.send(
+                            out[step.r_a :],
+                            b_row,
+                            sched.tag(_TAG_QTOP_BACK, t),
+                        )
+            if leaf is not None:
+                eloc = apply_q(leaf[0], leaf[1], eloc)
+
+        # 3. root reconstructs (L1, U, T, S) from its top block and
+        #    sends the solve/apply factors down the pane column; each
+        #    pane rank back-solves its V rows.
+        vloc = np.zeros((len(act_loc), w))
+        tmat = None
+        if self.layer == 0 and self.pj == qj:
+            pkg = None
+            if self.pi == rt:
+                l1, u, tmat, signs = reconstruct_wy_top(eloc[:w])
+                pkg = (u, signs, tmat)
+            with comm.phase("recon_bcast"):
+                pkg = gd.col_comm.bcast(pkg, root=rt)
+            u, signs, tmat = pkg
+            if self.pi == rt:
+                vloc[:w] = l1
+                vloc[w:] = wy_below_rows(eloc[w:], u)
+                # Sign-fixed final R of the panel: R' = S R.
+                panel_lcols = self.col_g2l[np.arange(k0, k1)]
+                self.aloc[np.ix_(act_loc[:w], panel_lcols)] = (
+                    signs[:, None] * r_mine
+                )
+            else:
+                vloc = wy_below_rows(eloc, u)
+
+        # 4. T to the whole compute layer (the trailing update and the
+        #    assembly sweep need it on every layer-0 rank).
+        with comm.phase("wy_t_bcast"):
+            tmat = gd.layer_comm.bcast(tmat, root=rt * g + qj)
+        self.t_log[t] = tmat
+
+        # 5. V rows to the G-1 layer-0 row peers.
+        with comm.phase("panel_bcast"):
+            vloc = gd.row_comm.bcast(vloc, root=qj)
+
+        # 6. bank the split chunks: layer l keeps 1/c of V (layer 0's
+        #    own chunk stays in place without a message).
+        chunks = sched.sender_chunks(w)
+        if self.pj == qj:
+            self.bank[t] = vloc[:, chunks[0]].copy()
+            if len(act_loc):
+                with comm.phase("bank_scatter"):
+                    for lyr in range(1, self.c):
+                        if len(chunks[lyr]) == 0:
+                            continue
+                        gd.fiber_comm.send(
+                            vloc[:, chunks[lyr]],
+                            lyr,
+                            sched.tag(_TAG_BANK, t),
+                        )
+        return vloc, tmat, act_loc
+
+    def _bank_recv(self, t: int, qj: int, counts: list[int]) -> None:
+        """Bank-layer side of step 6: receive this layer's V chunk."""
+        sched, gd = self.sched, self.grid
+        if self.pj != qj:
+            return
+        w = sched.step_context(t).w
+        chunk = sched.sender_chunks(w)[self.layer]
+        if counts[self.pi] == 0 or len(chunk) == 0:
+            self.bank[t] = np.zeros((counts[self.pi], len(chunk)))
+            return
+        with self.comm.phase("bank_scatter"):
+            self.bank[t] = gd.fiber_comm.recv(0, sched.tag(_TAG_BANK, t))
+
+    # -- step 7: one compact-WY GEMM pair on the trailing matrix -------
+    def trailing_op(self, ctx: StepContext, panel) -> None:
+        if panel is None:
+            return
+        comm, gd = self.comm, self.grid
+        vloc, tmat, act_loc = panel
+        tcols = np.where(self.my_cols >= ctx.k1)[0]
+        if len(tcols) == 0:
+            return
+        with comm.phase("wy_apply"):
+            block = self.aloc[np.ix_(act_loc, tcols)]
+            y = gd.col_comm.allreduce(vloc.T @ block)
+            self.aloc[np.ix_(act_loc, tcols)] = block - vloc @ (
+                tmat.T @ y
+            )
+
+    def step_flops(self, ctx: StepContext) -> float:
+        if self.layer != 0:
+            return 0.0
+        rows = max(self.n - ctx.k0, 0)
+        cols = max(self.n - ctx.k1, 0)
+        # Compact-WY is two GEMMs (Y = V^T B, B -= V (T^T Y)) over the
+        # g x g compute layer.
+        return 4.0 * rows * ctx.w * cols / (self.g * self.g)
+
+    # -- step 8: distributed explicit-Q assembly (reverse sweep) -------
+    def assemble_q(self) -> None:
+        comm, gd, sched = self.comm, self.grid, self.sched
+        if self.layer == 0:
+            self.qloc = (
+                self.my_rows[:, None] == self.my_cols[None, :]
+            ).astype(np.float64)
+        for t in range(sched.steps - 1, -1, -1):
+            ctx = sched.step_context(t)
+            k0, w = ctx.k0, ctx.w
+            rt, qj, counts, act_loc = self._step_geometry(t, k0)
+            chunks = sched.sender_chunks(w)
+
+            if self.layer != 0:
+                # Bank side: return this layer's V chunk to the pane.
+                if (
+                    self.pj == qj
+                    and counts[self.pi]
+                    and len(chunks[self.layer])
+                ):
+                    with comm.phase("q_fiber_gather"):
+                        gd.fiber_comm.send(
+                            self.bank.pop(t),
+                            0,
+                            sched.tag(_TAG_QGATHER, t),
+                        )
+                continue
+
+            # Pane reassembles full V from its own chunk + the bank.
+            vloc = np.zeros((len(act_loc), w))
+            if self.pj == qj:
+                vloc[:, chunks[0]] = self.bank.pop(t)
+                if len(act_loc):
+                    with comm.phase("q_fiber_gather"):
+                        for lyr in range(1, self.c):
+                            if len(chunks[lyr]) == 0:
+                                continue
+                            vloc[:, chunks[lyr]] = gd.fiber_comm.recv(
+                                lyr, sched.tag(_TAG_QGATHER, t)
+                            )
+            with comm.phase("q_panel_bcast"):
+                vloc = gd.row_comm.bcast(vloc, root=qj)
+
+            # Q_t X = X - V (T (V^T X)) on all N columns.
+            tmat = self.t_log[t]
+            with comm.phase("q_apply"):
+                block = self.qloc[act_loc, :]
+                y = gd.col_comm.allreduce(vloc.T @ block)
+                self.qloc[act_loc, :] = block - vloc @ (tmat @ y)
+            rows = max(self.n - k0, 0)
+            comm.compute(4.0 * rows * w * self.n / (self.g * self.g))
+
+    def finalize(self) -> dict:
+        if self.layer != 0:
+            return {"active": True, "layer": self.layer}
+        return {
+            "active": True,
+            "layer": 0,
+            "aloc": self.aloc,
+            "qloc": self.qloc,
+            "rows": self.my_rows,
+            "cols": self.my_cols,
+        }
+
+    def run(self) -> dict:
+        if not self.active:
+            return {"active": False}
+        for t in range(self.sched.steps):
+            ctx = self.sched.step_context(t)
+            panel = self.panel_op(ctx)
+            self.trailing_op(ctx, panel)
+            self.comm.compute(self.step_flops(ctx))
+        self.assemble_q()
+        return self.finalize()
+
+
+def _confqr_rank_fn(comm, a, g, c, v):
+    return _ConfqrRank(comm, a, g, c, v).run()
+
+
+def _assemble(n: int, results: list[dict], key: str) -> np.ndarray:
+    combined = np.zeros((n, n))
+    seen = False
+    for res in results:
+        if not res.get("active") or res.get("layer") != 0:
+            continue
+        seen = True
+        combined[np.ix_(res["rows"], res["cols"])] = res[key]
+    if not seen:
+        raise RuntimeError("no compute-layer ranks returned results")
+    return combined
+
+
+@register_algorithm(
+    "confqr",
+    kind="qr",
+    grid_family="25d",
+    description="COnfQR 2.5D QR: compact-WY trailing updates from "
+    "Householder reconstruction, 1/c-chunked reflector bank, "
+    "distributed explicit-Q assembly",
+)
+def _factor_confqr(
+    a: np.ndarray,
+    nranks: int,
+    grid: tuple[int, int, int] | None = None,
+    v: int | None = None,
+    timeout: float = 600.0,
+    machine=None,
+    faults=None,
+) -> FactorResult:
+    """COnfQR of a square matrix; returns explicit Q and R.
+
+    Result contract matches ``caqr25d``: ``lower`` is Q (assembled
+    *distributed* by the rank program, not replayed host-side),
+    ``upper`` is R, ``perm`` the identity; ``residual`` is
+    ``||A - Q R||_F / ||A||_F`` and ``meta["orthogonality"]`` is
+    ``||Q^T Q - I||_F``.
+    """
+    a = validate_input_matrix(a)
+    n = a.shape[0]
+    if grid is None:
+        choice = optimize_grid_25d(nranks, n)
+        g, c = choice.grid_rows, choice.layers
+    else:
+        g, gg, c = grid
+        if g != gg:
+            raise ValueError(f"grid must be square in rows/cols, got {grid}")
+        if g * g * c > nranks:
+            raise ValueError(
+                f"grid {grid} needs {g * g * c} ranks, have {nranks}"
+            )
+    if v is None:
+        v = max(2, min(8, n))
+    if v < 1:
+        raise ValueError(f"v must be >= 1, got {v}")
+    if n < v:
+        v = n
+    results, report = run_spmd(
+        nranks, _confqr_rank_fn, a, g, c, v,
+        timeout=timeout, machine=machine, faults=faults,
+    )
+    upper = np.triu(_assemble(n, results, "aloc"))
+    q = _assemble(n, results, "qloc")
+    residual, orthogonality = verify_qr_factors(a, q, upper)
+    if residual > 1e-10:
+        raise FactorVerificationError(
+            "residual",
+            f"confqr ||A - QR||/||A|| = {residual:.2e} > 1e-10",
+        )
+    if orthogonality > 1e-10:
+        raise FactorVerificationError(
+            "orthogonality",
+            f"confqr ||Q^T Q - I|| = {orthogonality:.2e} > 1e-10",
+        )
+    return FactorResult(
+        name="confqr",
+        n=n,
+        nranks=nranks,
+        grid=(g, g, c),
+        block=v,
+        lower=q,
+        upper=upper,
+        perm=np.arange(n),
+        volume=report,
+        residual=residual,
+        meta={
+            "orthogonality": orthogonality,
+            "active_ranks": g * g * c,
+        },
+    )

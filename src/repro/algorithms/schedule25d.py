@@ -198,6 +198,31 @@ class Schedule25D:
         self.col_g2l = np.full(n, -1)
         self.col_g2l[self.my_cols] = np.arange(len(self.my_cols))
 
+    def init_compute_layer_layout(self) -> None:
+        """COnfQR layout: rows AND columns block-cyclic over the G-square
+        *compute layer* (layer 0), block v.
+
+        This is the 2.5D memory-for-communication trade in its QR form:
+        instead of giving every layer its own column pane (the CAQR
+        layout, which forces full-width reflector fan-out to all G*c
+        slots), the factorization runs on the largest 2D grid whose
+        blocks fill the per-rank memory budget M = c N^2 / P, and the
+        remaining layers act as a *reflector bank* — each holding the
+        1/c ``sender_chunks`` slice of every step's panel for the
+        distributed explicit-Q assembly sweep.  Coordinate maps are
+        shared by all layers; only layer 0 materializes matrix data.
+        """
+        n, g, v = self.n, self.g, self.v
+        self.rowmap = BlockCyclic1D(n, g, v)
+        self.colmap = BlockCyclic1D(n, g, v)
+        self.rows_by_grid_row = [
+            self.rowmap.global_indices(i) for i in range(g)
+        ]
+        self.my_rows = self.rows_by_grid_row[self.pi]
+        self.my_cols = self.colmap.global_indices(self.pj)
+        self.col_g2l = np.full(n, -1)
+        self.col_g2l[self.my_cols] = np.arange(len(self.my_cols))
+
     def local_block(self, a: np.ndarray, replicated: bool = False):
         """This rank's initial local block.
 

@@ -22,6 +22,7 @@ from repro.harness.experiments import (
     fig6b_weak_scaling,
     fig7_reduction_grid,
     lower_bound_gap,
+    qr_confqr_gap,
     qr_lower_bound_gap,
     qr_strong_scaling,
     qr_weak_scaling,
@@ -60,6 +61,7 @@ __all__ = [
     "format_table",
     "lower_bound_gap",
     "named_spec",
+    "qr_confqr_gap",
     "qr_lower_bound_gap",
     "qr_strong_scaling",
     "qr_weak_scaling",

@@ -28,6 +28,7 @@ from repro.harness.specs import (
     fig6b_model_spec,
     fig7_spec,
     lower_bound_gap_spec,
+    qr_confqr_gap_spec,
     qr_lower_bound_gap_spec,
     qr_strong_scaling_spec,
     qr_weak_scaling_spec,
@@ -49,6 +50,7 @@ __all__ = [
     "fig7_reduction_grid",
     "lower_bound_gap",
     "model_gap_at_scale",
+    "qr_confqr_gap",
     "qr_lower_bound_gap",
     "qr_strong_scaling",
     "qr_weak_scaling",
@@ -340,6 +342,30 @@ def qr_lower_bound_gap(
         workers=workers,
     )
     return [_tuplify_grid(row) for row in result.rows()]
+
+
+def qr_confqr_gap(
+    gc_points: Sequence[tuple[int, int]] = ((8, 1), (4, 4), (2, 16)),
+    n: int = 48,
+    v: int = 4,
+    seed: int = 0,
+    cache: SweepCache | None = None,
+    workers: int = 0,
+) -> list[dict]:
+    """E10: COnfQR vs 2.5D CAQR across equal-P [G, G, c] grids.
+
+    The headline claim of the COnfQR layer: the compact-WY schedule's
+    total volume keeps falling as the replication depth c grows
+    (every term scales with G = sqrt(P/c)), where CAQR's panel fan-out
+    flattens at c = 2 and then rises.  Each row also carries the exact
+    per-step model (``model_error`` is ~0 by construction).
+    """
+    result = run_sweep(
+        qr_confqr_gap_spec(gc_points=gc_points, n=n, v=v, seed=seed),
+        cache=cache,
+        workers=workers,
+    )
+    return result.rows()
 
 
 def model_gap_at_scale(

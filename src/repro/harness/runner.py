@@ -25,6 +25,7 @@ from repro.models.costmodels import (
     candmc_sim_total_bytes,
     caqr25d_total_bytes,
     conflux_total_bytes,
+    confqr_total_bytes,
     qr2d_total_bytes,
     scalapack2d_total_bytes,
     slate_total_bytes,
@@ -33,7 +34,7 @@ from repro.models.costmodels import (
 IMPLEMENTATION_NAMES = ("scalapack2d", "slate2d", "candmc25d", "conflux")
 
 #: The QR family (kept separate: Table 2 is an LU artifact).
-QR_IMPLEMENTATION_NAMES = ("qr2d", "caqr25d")
+QR_IMPLEMENTATION_NAMES = ("qr2d", "caqr25d", "confqr")
 
 
 @dataclass(frozen=True)
@@ -117,7 +118,7 @@ def pick_params(
         if v is None:
             v = max(c, 2)
         return {"grid": (g, g, c), "v": v}
-    if impl == "caqr25d":
+    if impl in ("caqr25d", "confqr"):
         choice = optimize_grid_25d(p, n)
         g, c = choice.grid_rows, choice.layers
         if v is None:
@@ -146,6 +147,10 @@ def model_for(impl: str, n: int, p: int, params: dict) -> float:
         g, _, c = params["grid"]
         return caqr25d_total_bytes(n, g * g * c, c=c, v=params["v"],
                                    grid_rows=g)
+    if impl == "confqr":
+        g, _, c = params["grid"]
+        return confqr_total_bytes(n, g * g * c, c=c, v=params["v"],
+                                  grid_rows=g)
     if impl == "scalapack2d":
         pr, pc = params["grid"]
         return scalapack2d_total_bytes(n, pr * pc)

@@ -162,6 +162,62 @@ def qr_lower_bound_gap_task(n: int, p: int, seed: int = 0) -> dict:
     }
 
 
+@task("qr_confqr_gap")
+def qr_confqr_gap_task(
+    n: int, g: int, c: int, v: int = 4, seed: int = 0,
+) -> dict:
+    """COnfQR vs 2.5D CAQR at one explicit [G, G, c] grid.
+
+    Reports measured vs exact-model COnfQR volume, the
+    factorization-only slice (explicit-Q assembly phases carry a
+    ``q_`` prefix in the ledger), CAQR at the same grid, and the gap
+    over the parallel QR I/O lower bound.  Swept over grids of equal
+    P, the COnfQR total keeps falling as c grows while CAQR's rises —
+    the optimum moves past c = 2.
+    """
+    import numpy as np
+
+    from repro.algorithms import factor
+    from repro.models.costmodels import (
+        caqr25d_total_bytes,
+        confqr_total_bytes,
+    )
+    from repro.models.prediction import algorithmic_memory
+    from repro.theory.bounds import qr_parallel_lower_bound
+
+    p = g * g * c
+    a = np.random.default_rng(seed).standard_normal((n, n))
+    confqr = factor("confqr", a, grid=(g, g, c), v=v)
+    caqr = factor("caqr25d", a, grid=(g, g, c), v=v)
+    measured = confqr.volume.total_bytes
+    factor_only = sum(
+        nbytes
+        for phase, nbytes in confqr.volume.phase_bytes.items()
+        if not phase.startswith("q_")
+    )
+    model = confqr_total_bytes(n, p, c=c, v=v, grid_rows=g)
+    m = algorithmic_memory(n, p, c)
+    bound_total = qr_parallel_lower_bound(n, m, p) * p
+    return {
+        "n": n,
+        "g": g,
+        "c": c,
+        "p": p,
+        "v": v,
+        "confqr_bytes": measured,
+        "confqr_model_bytes": model,
+        "model_error": abs(measured - model) / model if model else 0.0,
+        "confqr_factor_bytes": factor_only,
+        "caqr25d_bytes": caqr.volume.total_bytes,
+        "caqr25d_model_bytes": caqr25d_total_bytes(
+            n, p, c=c, v=v, grid_rows=g
+        ),
+        "volume_ratio": caqr.volume.total_bytes / measured if measured
+        else 1.0,
+        "gap": (measured / 8) / bound_total,
+    }
+
+
 @task("block_size")
 def block_size_task(n: int, g: int, c: int, v: int, seed: int = 3) -> dict:
     """Blocking-parameter ablation: one COnfLUX run at block size v."""
@@ -493,7 +549,7 @@ def block_size_spec(
 #: The QR family measured through the shared ``measured`` task
 #: (import-cycle-free copy check in tests keeps this aligned with
 #: runner.QR_IMPLEMENTATION_NAMES, like DEFAULT_IMPLS above).
-QR_IMPLS = ("qr2d", "caqr25d")
+QR_IMPLS = ("qr2d", "caqr25d", "confqr")
 
 
 def qr_strong_scaling_spec(
@@ -550,6 +606,31 @@ def qr_lower_bound_gap_spec(
         description=(
             "Measured 2.5D CAQR volume vs the parallel QR I/O lower "
             "bound (constant-factor gap)"
+        ),
+    )
+
+
+def qr_confqr_gap_spec(
+    gc_points: Sequence[tuple[int, int]] = ((8, 1), (4, 4), (2, 16)),
+    n: int = 48,
+    v: int = 4,
+    seed: int = 0,
+) -> SweepSpec:
+    def split_gc(params: dict) -> dict:
+        gc = params.pop("gc")
+        params["g"], params["c"] = int(gc[0]), int(gc[1])
+        return params
+
+    return SweepSpec(
+        name="qr-confqr-gap",
+        task="qr_confqr_gap",
+        axes={"gc": [list(gc) for gc in gc_points]},
+        fixed={"n": n, "v": v, "seed": seed},
+        derive=split_gc,
+        description=(
+            "COnfQR vs 2.5D CAQR over equal-P [G, G, c] grids: "
+            "measured vs exact model, factor-only slice, QR bound "
+            "gap — the optimum moves past c = 2"
         ),
     )
 
@@ -699,6 +780,7 @@ SPECS = {
     "qr-strong-time": qr_strong_time_spec,
     "qr-weak": qr_weak_scaling_spec,
     "qr-lower-bound-gap": qr_lower_bound_gap_spec,
+    "qr-confqr-gap": qr_confqr_gap_spec,
     "chaos-lu": chaos_lu_spec,
     "chaos-qr": chaos_qr_spec,
 }

@@ -33,10 +33,14 @@ from repro.kernels.tournament import (
 from repro.kernels.tsqr import (
     MergeStep,
     TsqrFactors,
+    WyFactors,
     apply_q,
     apply_qt,
+    compact_wy,
     householder_qr,
+    larft,
     merge_plan,
+    reconstruct_wy,
     thin_q,
     tsqr,
 )
@@ -45,11 +49,14 @@ __all__ = [
     "MergeStep",
     "PivotCandidates",
     "TsqrFactors",
+    "WyFactors",
     "apply_q",
     "apply_qt",
     "apply_row_permutation",
+    "compact_wy",
     "growth_factor",
     "householder_qr",
+    "larft",
     "local_candidates",
     "lu_blocked_partial_pivot",
     "lu_nopivot",
@@ -58,6 +65,7 @@ __all__ = [
     "merge_candidates",
     "merge_plan",
     "permutation_from_pivots",
+    "reconstruct_wy",
     "split_lu",
     "thin_q",
     "tournament_pivot_rows",

@@ -81,9 +81,30 @@ def householder_qr(
     return v, tau, np.triu(work[:k, :])
 
 
+def _conforming(rows: int, b: np.ndarray, what: str) -> np.ndarray:
+    """Validate that ``b`` conforms to an m-row reflector set.
+
+    The reflector loops would otherwise fail late with an opaque numpy
+    broadcasting message — or, for an all-``tau == 0`` (degenerate)
+    panel, skip every reflector and silently return a nonconforming
+    ``b`` unchanged.
+    """
+    out = np.array(b, dtype=np.float64, copy=True)
+    if out.ndim != 2:
+        raise ValueError(
+            f"{what} expects a 2D matrix, got shape {out.shape}"
+        )
+    if out.shape[0] != rows:
+        raise ValueError(
+            f"{what}: operand has {out.shape[0]} rows but the factored "
+            f"panel has {rows}"
+        )
+    return out
+
+
 def apply_qt(v: np.ndarray, tau: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Apply Q^T (Q from ``householder_qr``) to conforming ``b``."""
-    out = np.array(b, dtype=np.float64, copy=True)
+    out = _conforming(v.shape[0], b, "apply_qt")
     for j in range(len(tau)):
         if tau[j] == 0.0:
             continue
@@ -94,7 +115,7 @@ def apply_qt(v: np.ndarray, tau: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 def apply_q(v: np.ndarray, tau: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Apply Q (Q from ``householder_qr``) to conforming ``b``."""
-    out = np.array(b, dtype=np.float64, copy=True)
+    out = _conforming(v.shape[0], b, "apply_q")
     for j in range(len(tau) - 1, -1, -1):
         if tau[j] == 0.0:
             continue
@@ -227,6 +248,32 @@ class TsqrFactors:
                 )
         return [np.asarray(rows) for rows in block_rows]
 
+    def _conforming_operand(
+        self,
+        b: np.ndarray,
+        block_rows: list[np.ndarray] | None,
+        what: str,
+    ) -> np.ndarray:
+        """Copy + conformance-check an apply operand.
+
+        Without explicit ``block_rows`` the operand must stack exactly
+        the factored panel's rows; a taller matrix would silently leave
+        its extra rows untouched and a 1D vector would fail deep inside
+        the reflector loop with a numpy broadcasting message.
+        """
+        out = np.array(b, dtype=np.float64, copy=True)
+        if out.ndim != 2:
+            raise ValueError(
+                f"{what} expects a 2D matrix, got shape {out.shape}"
+            )
+        if block_rows is None and out.shape[0] != self.total_rows:
+            raise ValueError(
+                f"{what}: operand has {out.shape[0]} rows but the "
+                f"factored panel has {self.total_rows} (pass block_rows "
+                "to address a subset of a larger matrix)"
+            )
+        return out
+
     def _top_sequences(
         self, idx: list[np.ndarray]
     ) -> list[np.ndarray]:
@@ -265,7 +312,7 @@ class TsqrFactors:
         default leaves are contiguous in order).  This is the CAQR
         trailing update B -> Q^T B.
         """
-        out = np.array(b, dtype=np.float64, copy=True)
+        out = self._conforming_operand(b, block_rows, "TsqrFactors.apply_qt")
         idx = self._block_indices(block_rows)
         for i, leaf in enumerate(self.leaves):
             if leaf is None:
@@ -282,7 +329,7 @@ class TsqrFactors:
         block_rows: list[np.ndarray] | None = None,
     ) -> np.ndarray:
         """Q B — the transforms of :meth:`apply_qt`, inverted."""
-        out = np.array(b, dtype=np.float64, copy=True)
+        out = self._conforming_operand(b, block_rows, "TsqrFactors.apply_q")
         idx = self._block_indices(block_rows)
         stacks = self._top_sequences(idx)
         for node, stack in zip(reversed(self.nodes), reversed(stacks)):
@@ -355,4 +402,177 @@ def tsqr(blocks: list[np.ndarray]) -> TsqrFactors:
         leaves=tuple(leaves),
         nodes=tuple(nodes),
         r=rs[root],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Householder reconstruction from TSQR -> compact WY (Ballard, Demmel,
+# Grigori, Jacquelin, Nguyen, Solomonik, "Reconstructing Householder
+# vectors from Tall-Skinny QR")
+# ---------------------------------------------------------------------------
+
+
+def larft(v: np.ndarray, tau: np.ndarray) -> np.ndarray:
+    """Forward-accumulated triangular T of a compact-WY transform.
+
+    Given unit-lower-trapezoidal reflectors ``v`` (m, k) and their
+    coefficients ``tau``, returns the upper-triangular (k, k) T with
+    H_0 H_1 ... H_{k-1} = I - V T V^T (LAPACK ``larft`` forward /
+    columnwise).
+    """
+    m, k = np.asarray(v).shape
+    t = np.zeros((k, k))
+    for j in range(k):
+        t[j, j] = tau[j]
+        if j and tau[j] != 0.0:
+            t[:j, j] = -tau[j] * (t[:j, :j] @ (v[:, :j].T @ v[:, j]))
+    return t
+
+
+def reconstruct_wy(
+    q1: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Recover Householder vectors from an explicit thin Q.
+
+    Given an orthonormal ``q1`` (m, k), returns ``(v, tau, t, signs)``
+    such that ``I - V T V^T`` is orthogonal, its first k columns equal
+    ``q1 @ diag(signs)``, and ``v`` is unit-lower-trapezoidal — i.e.
+    exactly what ``householder_qr`` would have produced for the panel
+    ``q1 @ diag(signs) @ r`` (up to the sign convention carried in
+    ``signs``).
+
+    The construction is Ballard et al.'s: choose ``signs[i] = -1`` when
+    ``q1[i, i] >= 0`` so every diagonal entry of ``Q1 - S`` has
+    magnitude >= 1, take the *unpivoted* LU of the top block
+    ``Q1[:k] - S = L1 U`` (exists and is stable by that sign choice),
+    and set ``V = (Q1 - S) U^{-1}`` (so ``V[:k] = L1``),
+    ``T = -U S L1^{-T}`` (upper triangular), ``tau = diag(T)``.
+    """
+    q1 = np.array(q1, dtype=np.float64, copy=True)
+    if q1.ndim != 2 or q1.shape[0] < q1.shape[1]:
+        raise ValueError(
+            f"reconstruct_wy needs a tall-or-square thin Q, got shape "
+            f"{q1.shape}"
+        )
+    m, k = q1.shape
+    l1, u, t, signs = reconstruct_wy_top(q1[:k])
+    v = np.empty((m, k))
+    v[:k] = l1
+    if m > k:
+        v[k:] = wy_below_rows(q1[k:], u)
+    tau = np.diagonal(t).copy()
+    return v, tau, t, signs
+
+
+def reconstruct_wy_top(
+    q1_top: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The square-top core of :func:`reconstruct_wy`.
+
+    Returns ``(l1, u, t, signs)`` from the k x k leading block of a
+    thin Q.  Split out so the distributed COnfQR rank program (which
+    holds only the top block at the tree root) runs the *identical*
+    float sequence as the host kernel — their factors match bitwise.
+    """
+    from repro.kernels.lu_seq import lu_nopivot
+
+    q1_top = np.array(q1_top, dtype=np.float64, copy=True)
+    k = q1_top.shape[0]
+    if q1_top.shape != (k, k):
+        raise ValueError(
+            f"reconstruct_wy_top needs a square block, got {q1_top.shape}"
+        )
+    signs = np.where(np.diagonal(q1_top) >= 0.0, -1.0, 1.0)
+    q1_top[np.arange(k), np.arange(k)] -= signs
+    lu = lu_nopivot(q1_top)
+    l1 = np.tril(lu, -1) + np.eye(k)
+    u = np.triu(lu)
+    # T = -U S L1^{-T}: upper x diagonal x (unit upper) stays upper.
+    t = np.triu(-(u * signs) @ np.linalg.inv(l1).T)
+    return l1, u, t, signs
+
+
+def wy_below_rows(q1_rows: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Reflector rows below the top block: ``V_below = Q1_below U^{-1}``
+    (k triangular back-substitutions)."""
+    if q1_rows.shape[0] == 0:
+        return np.zeros((0, u.shape[0]))
+    return np.linalg.solve(u.T, np.asarray(q1_rows, dtype=np.float64).T).T
+
+
+@dataclass(frozen=True)
+class WyFactors:
+    """Compact-WY form of a factored panel: Q = I - V T V^T.
+
+    ``signs`` records the diagonal sign matrix S the reconstruction
+    chose: the panel's thin Q equals the first k columns of
+    ``I - V T V^T``, which is the source factorization's thin Q times
+    ``diag(signs)``; ``r`` is the matching sign-fixed R (``S @ R``), so
+    ``panel = thin_q() @ r`` exactly.
+
+    One ``apply_qt`` is a single GEMM pair — the point of Householder
+    reconstruction: the per-pane merge-tree replay collapses into
+    ``B - V (T^T (V^T B))``.
+    """
+
+    v: np.ndarray       # (m, k) unit-lower-trapezoidal reflectors
+    t: np.ndarray       # (k, k) upper-triangular
+    tau: np.ndarray     # (k,) = diag(t)
+    signs: np.ndarray   # (k,) the S diagonal
+    r: np.ndarray       # (k, ncols) sign-fixed R
+
+    @property
+    def total_rows(self) -> int:
+        return int(self.v.shape[0])
+
+    @property
+    def ncols(self) -> int:
+        return int(self.r.shape[1])
+
+    def apply_qt(self, b: np.ndarray) -> np.ndarray:
+        """Q^T B = B - V (T^T (V^T B))."""
+        out = _conforming(self.total_rows, b, "WyFactors.apply_qt")
+        return out - self.v @ (self.t.T @ (self.v.T @ out))
+
+    def apply_q(self, b: np.ndarray) -> np.ndarray:
+        """Q B = B - V (T (V^T B))."""
+        out = _conforming(self.total_rows, b, "WyFactors.apply_q")
+        return out - self.v @ (self.t @ (self.v.T @ out))
+
+    def thin_q(self) -> np.ndarray:
+        """Explicit thin Q (m, k): first k columns of I - V T V^T."""
+        m = self.total_rows
+        k = self.v.shape[1]
+        return self.apply_q(np.eye(m)[:, :k])
+
+    def build_q(self) -> np.ndarray:
+        """Explicit square Q (m, m) = I - V T V^T."""
+        return np.eye(self.total_rows) - self.v @ self.t @ self.v.T
+
+
+def compact_wy(factors: TsqrFactors) -> WyFactors:
+    """Householder reconstruction of a tree TSQR into compact-WY form.
+
+    The tree's implicit Q is materialized as a thin panel (cheap: the
+    panel is tall-skinny), reconstructed into (V, T), and the R rows
+    are sign-fixed to match, so
+
+    ``wy.thin_q() @ wy.r == stacked panel`` and
+    ``wy.thin_q() == factors.build_q() @ diag(wy.signs)``.
+
+    Requires the merged R to live in the stacked panel's leading rows
+    (leaf 0 holding at least ``ncols`` rows — always true for the
+    block-cyclic panes CAQR/COnfQR feed in).
+    """
+    idx = factors._block_indices(None)
+    _, top = factors._walk_tops(idx)
+    k = min(factors.total_rows, factors.ncols)
+    if not np.array_equal(top[:k], np.arange(k)):
+        raise ValueError(
+            "compact_wy needs the merged R in the panel's leading rows "
+            "(leaf 0 shorter than ncols); re-chunk the panel"
+        )
+    v, tau, t, signs = reconstruct_wy(factors.build_q())
+    return WyFactors(
+        v=v, t=t, tau=tau, signs=signs, r=signs[:, None] * factors.r
     )

@@ -31,6 +31,7 @@ from repro.models.costmodels import (
     caqr25d_total_bytes,
     candmc_total_bytes,
     conflux_total_bytes,
+    confqr_total_bytes,
     qr2d_total_bytes,
     scalapack2d_total_bytes,
     slate_total_bytes,
@@ -155,6 +156,16 @@ register_model(
     kind="qr",
     grid_family="25d",
     description="2.5D CAQR per-step model (TSQR trees on panes)",
+)
+register_model(
+    "confqr",
+    confqr_total_bytes,
+    kind="qr",
+    grid_family="25d",
+    description=(
+        "COnfQR exact per-step model (compact-WY on the compute "
+        "layer, 1/c reflector banks) — volume ~ 4 G N^2, G = sqrt(P/c)"
+    ),
 )
 
 

@@ -429,5 +429,107 @@ def qr2d_total_bytes(
     return total * element_size
 
 
+def confqr_step_breakdown(
+    n: int,
+    grid_rows: int,
+    layers: int,
+    v: int,
+    t: int,
+) -> dict[str, float]:
+    """Element counts moved in step ``t`` of COnfQR, by ledger phase
+    (see ``algorithms/confqr.py``).
+
+    The factorization runs on the G x G compute layer (rows/columns
+    block-cyclic, block v); layers 1..c-1 bank 1/c reflector chunks.
+    The counts below are *exact* — they re-derive the same per-grid-row
+    active counts ``n_i`` and the same survivor-swap merge plan the
+    rank program uses, so the model matches the ledger byte for byte:
+
+    ==============  ====================================================
+    tsqr_tree       sum_plan r_b w           — R factors up the tree
+    recon_tree      2 sum_plan r_b w         — tree replay on I_w
+    recon_bcast     (G-1)(2w^2 + w)          — (U, S, T) down the pane
+    wy_t_bcast      (G^2-1) w^2              — T to the compute layer
+    panel_bcast     (G-1) sum_i n_i w        — V rows to row peers
+    bank_scatter    sum_i n_i sum_{l>=1} |chunk_l|  — 1/c V chunks
+    wy_apply        2 (G-1) w w_t            — allreduce Y = V^T B
+    q_fiber_gather  = bank_scatter           — assembly sweep (reverse)
+    q_panel_bcast   = panel_bcast
+    q_apply         2 (G-1) w N              — Q_t X on all N columns
+    ==============  ====================================================
+    """
+    import numpy as _np
+
+    from repro.kernels.tsqr import merge_plan
+    from repro.layouts.block_cyclic import BlockCyclic1D
+
+    g, c = grid_rows, layers
+    k0 = t * v
+    n_t = n - k0
+    if n_t <= 0:
+        return {}
+    w = min(v, n_t)
+    w_t = max(n - (t + 1) * v, 0)
+    rowmap = BlockCyclic1D(n, g, v)
+    rt = int(rowmap.owner(k0))
+    counts = [
+        int((rowmap.global_indices(i) >= k0).sum()) for i in range(g)
+    ]
+    plan = merge_plan([counts[(rt + p) % g] for p in range(g)], w)
+    tree = float(sum(min(s.r_b, w) * w for s in plan))
+    rows_active = float(sum(counts))
+    chunk_sizes = [len(ch) for ch in _np.array_split(_np.arange(w), c)]
+    bank = rows_active * float(sum(chunk_sizes[1:]))
+    panel = (g - 1) * rows_active * w
+    return {
+        "tsqr_tree": tree,
+        "recon_tree": 2.0 * tree,
+        "recon_bcast": (g - 1) * (2.0 * w * w + w),
+        "wy_t_bcast": (g * g - 1) * float(w * w),
+        "panel_bcast": panel,
+        "bank_scatter": bank,
+        "wy_apply": 2.0 * (g - 1) * w * w_t,
+        "q_fiber_gather": bank,
+        "q_panel_bcast": panel,
+        "q_apply": 2.0 * (g - 1) * w * n,
+    }
+
+
+def confqr_total_bytes(
+    n: int,
+    p: int,
+    m: float | None = None,
+    c: int | None = None,
+    v: int | None = None,
+    grid_rows: int | None = None,
+    element_size: int = ELEMENT_SIZE,
+) -> float:
+    """Exact COnfQR volume: per-step phase sums over all ceil(N/v)
+    steps, explicit-Q assembly included.
+
+    Leading order: ~ 4 G N^2 elements with G = sqrt(P/c) — every term
+    scales with G, so the volume *keeps falling* as the replication
+    depth c grows, where CAQR's N^2 (G c + 2 G)/2 (its panel fan-out
+    pays G c) flattens at c = 2.  The factorization-only part (the
+    phases a host-assembled-Q run would measure) is ~ 1.5 G N^2.
+    """
+    if c is None:
+        if m is None:
+            raise ValueError("need either m or c")
+        c = derive_c_from_memory(n, p, m)
+    if c < 1:
+        raise ValueError(f"c must be >= 1, got {c}")
+    if grid_rows is None:
+        grid_rows = max(1, int(math.isqrt(p // c)))
+    if v is None:
+        v = max(2, min(8, n))
+    total = 0.0
+    for t in range(math.ceil(n / v)):
+        total += sum(
+            confqr_step_breakdown(n, grid_rows, c, v, t).values()
+        )
+    return total * element_size
+
+
 #: QR implementations with volume models (the LU set is MODEL_NAMES).
-QR_MODEL_NAMES = ("qr2d", "caqr25d")
+QR_MODEL_NAMES = ("qr2d", "caqr25d", "confqr")

@@ -16,6 +16,7 @@ from repro.models.costmodels import (
     MODEL_NAMES,
     QR_MODEL_NAMES,
     caqr25d_total_bytes,
+    confqr_total_bytes,
     qr2d_total_bytes,
 )
 
@@ -98,11 +99,14 @@ def sweep_qr_models(
     """Total modeled bytes for each QR implementation at one (N, P).
 
     ``qr2d`` is memory-independent like the 2D LU baselines;
-    ``caqr25d`` derives its [G, G, c] grid from ``m``.  The memory
-    default caps replication at c = 2: the pane-partitioned CAQR's
-    leading term N^2 (sqrt(P c) + 2 sqrt(P / c)) / 2 is minimized at
-    exactly c = 2, and deeper replication *adds* panel fan-out until a
-    COnfQR-style schedule cuts that term (ROADMAP future work).
+    ``caqr25d`` and ``confqr`` derive their [G, G, c] grids from
+    ``m``.  The memory default caps replication at c = 2: the
+    pane-partitioned CAQR's leading term
+    N^2 (sqrt(P c) + 2 sqrt(P / c)) / 2 is minimized at exactly
+    c = 2, and deeper replication *adds* panel fan-out — while
+    COnfQR's compact-WY schedule (every term ~ G = sqrt(P/c)) keeps
+    winning from deeper replication, so the shared c = 2 default is
+    a conservative comparison point for it.
     """
     if m is None:
         c = min(2, choose_c_max_replication(p, n))
@@ -111,6 +115,8 @@ def sweep_qr_models(
     for name in names:
         if name == "caqr25d":
             table[name] = caqr25d_total_bytes(n, p, m=m, v=v)
+        elif name == "confqr":
+            table[name] = confqr_total_bytes(n, p, m=m, v=v)
         elif name == "qr2d":
             table[name] = qr2d_total_bytes(n, p, m, nb=nb)
         else:

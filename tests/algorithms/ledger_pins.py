@@ -37,6 +37,8 @@ PINNED_POINTS = (
     ("cholesky25d", 16, 2, 1, 4),
     ("caqr25d", 24, 2, 2, 4),
     ("caqr25d", 16, 2, 1, 4),
+    ("confqr", 24, 2, 2, 4),
+    ("confqr", 16, 2, 1, 4),
 )
 
 

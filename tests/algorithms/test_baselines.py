@@ -172,6 +172,7 @@ class TestRegistry:
             "cholesky25d",
             "mmm25d",
             "caqr25d",
+            "confqr",
             "qr2d",
         }
 

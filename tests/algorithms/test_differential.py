@@ -23,7 +23,7 @@ from repro.algorithms.base import check_factors
 #: factorization — it returns no FactorResult to differentiate).
 ALGOS = tuple(sorted(set(IMPLEMENTATIONS) - {"mmm25d"}))
 LU_ALGOS = ("conflux", "scalapack2d", "slate2d", "candmc25d")
-QR_ALGOS = ("caqr25d", "qr2d")
+QR_ALGOS = ("caqr25d", "confqr", "qr2d")
 
 #: [G, G, c] geometries; 2D implementations get the flattened (G, G*c).
 GRIDS = [(1, 1, 1), (2, 2, 1), (2, 2, 2)]
@@ -45,7 +45,8 @@ def test_registry_spans_all_three_factorizations():
 def _factor(impl: str, a: np.ndarray, grid3: tuple[int, int, int]):
     g, _, c = grid3
     nranks = g * g * c
-    if impl in ("conflux", "candmc25d", "cholesky25d", "caqr25d"):
+    if impl in ("conflux", "candmc25d", "cholesky25d", "caqr25d",
+                "confqr"):
         return factor_by_name(impl, a, nranks, grid=(g, g, c), v=4)
     return factor_by_name(impl, a, nranks, grid=(g, g * c), nb=4)
 

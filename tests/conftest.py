@@ -48,6 +48,52 @@ def make_wilkinson_growth(n: int) -> np.ndarray:
     return a
 
 
+def make_tang_near_singular(
+    n: int, eps: float = 1e-10, seed: int = 7
+) -> np.ndarray:
+    """Near-singular panel (Tang-style, arXiv:2404.06713): a rank-one
+    outer product plus an ``eps`` perturbation.  Every panel the
+    factorization touches is within ``eps`` of singular, so any scheme
+    that normalizes by an unpivoted or carelessly selected pivot loses
+    all digits."""
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal(n)
+    w = rng.standard_normal(n)
+    return np.outer(u, w) + eps * rng.standard_normal((n, n))
+
+
+def make_tang_ties(n: int) -> np.ndarray:
+    """Pivot-candidate ties: the Sylvester-Hadamard sign pattern — all
+    entries +-1, so every first-round pivot comparison sees candidates
+    of exactly equal magnitude and selection must fall back to the
+    deterministic smaller-index tie-break, identically on every run
+    and every chunking.  Nonsingular whenever n is a power of two."""
+    i = np.arange(n)
+    return 1.0 - 2.0 * (
+        np.bitwise_count(i[:, None] & i[None, :]) % 2
+    ).astype(np.float64)
+
+
+def make_tang_adversarial_order(n: int, seed: int = 11) -> np.ndarray:
+    """Adversarial pivot ordering: geometric row scales *increasing*
+    downward, so GEPP must pull every pivot from the far end of the
+    panel — the pivot permutation is maximally far from identity and
+    every row-swap/masking path is exercised."""
+    rng = np.random.default_rng(seed)
+    scales = np.logspace(-6.0, 0.0, n)
+    return scales[:, None] * rng.standard_normal((n, n))
+
+
+#: Tang-style adversarial LU fixtures (name -> builder); the
+#: cross-implementation run lives in
+#: ``tests/algorithms/test_tang_adversarial.py``.
+TANG_CASES = {
+    "tang_near_singular": make_tang_near_singular,
+    "tang_ties": make_tang_ties,
+    "tang_adversarial_order": make_tang_adversarial_order,
+}
+
+
 def make_spd(base: np.ndarray) -> np.ndarray:
     """SPD-ify a stress matrix for the Cholesky rows of the
     differential matrix: B B^T plus a diagonal shift."""
@@ -61,6 +107,7 @@ ADVERSARIAL_CASES = {
     "ill_conditioned": lambda n: make_ill_conditioned(n, cond=1e6, seed=1),
     "kahan": make_kahan,
     "wilkinson_growth": make_wilkinson_growth,
+    **{name: fn for name, fn in TANG_CASES.items()},
 }
 
 

@@ -170,8 +170,19 @@ class TestQrModels:
         from repro.models.prediction import sweep_qr_models
 
         volumes = sweep_qr_models(4096, 64)
-        assert set(volumes) == {"qr2d", "caqr25d"}
+        assert set(volumes) == {"qr2d", "caqr25d", "confqr"}
         assert all(v > 0 for v in volumes.values())
+
+    def test_confqr_wins_at_deep_replication(self):
+        """Past CAQR's c = 2 sweet spot the compact-WY schedule keeps
+        converting memory into volume (every term ~ G = sqrt(P/c))
+        while CAQR's panel fan-out grows again."""
+        from repro.models.prediction import sweep_qr_models
+
+        m = algorithmic_memory(4096, 64, 8)
+        deep = sweep_qr_models(4096, 64, m=m)
+        assert deep["confqr"] < deep["caqr25d"]
+        assert deep["confqr"] < deep["qr2d"]
 
     def test_caqr_beats_2d_baseline_across_scales(self):
         from repro.models.prediction import qr_reduction_vs_2d
